@@ -1,0 +1,146 @@
+// Command gdb-bench runs the micro-benchmark evaluation and prints the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	gdb-bench [flags]
+//
+//	-engines   comma-separated engine names (default: all nine)
+//	-datasets  comma-separated dataset names (default: frb-s,frb-o,frb-m,frb-l)
+//	-scale     dataset scale factor, 1.0 = paper sizes (default 0.002)
+//	-timeout   per-query timeout (default 2s; the paper used 2h at full scale)
+//	-batch     batch size (default 10, as in the paper)
+//	-seed      random seed for parameter selection
+//	-report    which report to print: all, table1..4, fig1..fig7cd (default all)
+//	-list      list engines, datasets and reports, then exit
+//	-v         print progress to stderr
+//
+// Examples:
+//
+//	gdb-bench -report fig6 -datasets frb-s,frb-m -scale 0.005
+//	gdb-bench -engines neo-1.9,sqlg -datasets ldbc -report fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		engineList  = flag.String("engines", "", "comma-separated engines (default all)")
+		datasetList = flag.String("datasets", "frb-s,frb-o,frb-m,frb-l", "comma-separated datasets")
+		scale       = flag.Float64("scale", 0.002, "dataset scale factor (1.0 = paper sizes)")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-query timeout")
+		batch       = flag.Int("batch", 10, "batch mode size")
+		seed        = flag.Int64("seed", 1, "random seed for parameter selection")
+		report      = flag.String("report", "all", "report to print ("+strings.Join(harness.ReportNames(), ", ")+")")
+		exportJSON  = flag.String("export-json", "", "also write raw results as JSON to this file")
+		exportCSV   = flag.String("export-csv", "", "also write raw results as CSV to this file")
+		importJSON  = flag.String("import-json", "", "render reports from a previous -export-json run instead of executing")
+		list        = flag.Bool("list", false, "list engines, datasets and reports")
+		verbose     = flag.Bool("v", false, "print progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("engines: ", strings.Join(engines.Names(), ", "))
+		fmt.Println("datasets:", strings.Join(datasets.Names(), ", "))
+		fmt.Println("reports: ", strings.Join(harness.ReportNames(), ", "))
+		return
+	}
+
+	cfg := harness.Config{
+		Datasets:  splitList(*datasetList),
+		Scale:     *scale,
+		Timeout:   *timeout,
+		BatchSize: *batch,
+		Seed:      *seed,
+		Isolation: true,
+	}
+	if *engineList != "" {
+		cfg.Engines = splitList(*engineList)
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	// Static reports need no run.
+	switch *report {
+	case "table1":
+		harness.ReportTable1(os.Stdout)
+		return
+	case "table2":
+		harness.ReportTable2(os.Stdout)
+		return
+	}
+
+	var res *harness.Results
+	if *importJSON != "" {
+		f, err := os.Open(*importJSON)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = harness.ImportJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		runner, err := harness.NewRunner(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = runner.Run()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := harness.Report(res, *report, os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *exportJSON != "" {
+		if err := writeFile(*exportJSON, func(f *os.File) error { return harness.ExportJSON(res, f) }); err != nil {
+			fatal(err)
+		}
+	}
+	if *exportCSV != "" {
+		if err := writeFile(*exportCSV, func(f *os.File) error { return harness.ExportCSV(res, f) }); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gdb-bench:", err)
+	os.Exit(1)
+}

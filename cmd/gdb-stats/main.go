@@ -1,0 +1,41 @@
+// Command gdb-stats regenerates Table 3: the structural
+// characteristics of every benchmark dataset, next to the values the
+// paper reports for the full-size originals.
+//
+// Usage:
+//
+//	gdb-stats [-datasets yeast,mico,...] [-scale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/datasets"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list  = flag.String("datasets", strings.Join(datasets.Names(), ","), "datasets to measure")
+		scale = flag.Float64("scale", 0.002, "scale factor (1.0 = paper sizes)")
+	)
+	flag.Parse()
+
+	res := &harness.Results{
+		Config: harness.Config{Scale: *scale},
+		Stats:  map[string]datasets.Table3Row{},
+	}
+	for _, name := range strings.Split(*list, ",") {
+		name = strings.TrimSpace(name)
+		spec := datasets.ByName(name)
+		if spec == nil {
+			fmt.Fprintf(os.Stderr, "gdb-stats: unknown dataset %q (known: %v)\n", name, datasets.Names())
+			os.Exit(1)
+		}
+		res.Stats[name] = datasets.Stats(spec.Generate(*scale))
+	}
+	harness.ReportTable3(res, os.Stdout)
+}

@@ -1,0 +1,92 @@
+// Knowledgebase: micro-benchmark a Freebase-style knowledge graph —
+// the workload family where the paper's engines diverge hardest — and
+// demonstrate the effect of attribute indexing (Figure 4(c)).
+//
+// The label-rich, hub-heavy, fragmented structure makes unfiltered
+// traversals expensive on the relational engine (a join per label
+// table) and property search expensive everywhere until an index is
+// built.
+//
+// Run with:
+//
+//	go run ./examples/knowledgebase
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/gremlin"
+)
+
+func main() {
+	const scale = 0.002
+	spec := datasets.ByName("frb-o")
+	fmt.Printf("generating %s (%s) at scale %g...\n", spec.Name, spec.Desc, scale)
+	g := spec.Generate(scale)
+	row := datasets.Stats(g)
+	fmt.Printf("  |V|=%d |E|=%d |L|=%d components=%d maxdeg=%d\n\n",
+		row.V, row.E, row.L, row.Components, row.MaxDeg)
+
+	ctx := context.Background()
+	picks := datasets.Pick(g, 11, 4)
+	hub := picks.Vertices[0]
+
+	for _, en := range []string{"neo-1.9", "sparksee", "sqlg", "blaze"} {
+		e, err := engines.New(en)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := e.BulkLoad(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loadTime := time.Since(start)
+		gg := gremlin.New(e)
+		v := res.VertexIDs[hub]
+
+		t0 := time.Now()
+		n1, _ := gg.VID(v).Both().Count(ctx)
+		neighborTime := time.Since(t0)
+
+		t0 = time.Now()
+		reach, err := gremlin.BFS(ctx, e, v, 3)
+		bfsTime := time.Since(t0)
+		if err != nil {
+			log.Fatalf("%s: BFS: %v", en, err)
+		}
+
+		// Property search: scan, then indexed (Figure 4(c)).
+		t0 = time.Now()
+		hits, _ := gg.VHas("type", core.S("government")).Count(ctx)
+		scanTime := time.Since(t0)
+
+		idxNote := "indexed"
+		if err := e.BuildVertexPropIndex("type"); err != nil {
+			idxNote = "no user indexes (as in the paper)"
+		}
+		t0 = time.Now()
+		hits2, _ := gremlin.New(e).VHas("type", core.S("government")).Count(ctx)
+		idxTime := time.Since(t0)
+		if hits != hits2 {
+			log.Fatalf("%s: index changed results: %d vs %d", en, hits, hits2)
+		}
+
+		fmt.Printf("%-10s load=%-9s both(v)=%-4d in %-9s bfs3=%-5d in %-9s search=%-5d scan=%-9s idx=%-9s (%s)\n",
+			en, loadTime.Round(time.Millisecond),
+			n1, neighborTime.Round(10*time.Microsecond),
+			len(reach), bfsTime.Round(10*time.Microsecond),
+			hits, scanTime.Round(10*time.Microsecond), idxTime.Round(10*time.Microsecond), idxNote)
+		e.Close()
+	}
+	fmt.Println("\nshapes to notice (paper Sections 6.2–6.4):")
+	fmt.Println("  - blaze loads orders of magnitude slower (per-statement B+Tree updates)")
+	fmt.Println("  - sqlg's unfiltered traversals pay a join per label table")
+	fmt.Println("  - indexes help neo/sqlg; sparksee accepts but ignores them")
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a small property graph in one engine, query it
+// through the Gremlin-style traversal API, and print what the paper's
+// primitive operations look like in code.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/gremlin"
+)
+
+func main() {
+	// Any of the nine configurations works identically behind the
+	// core.Engine contract; pick the Neo4j-style native engine.
+	e, err := engines.New("neo-1.9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+
+	// --- create (Table 2, Q2–Q7) ---
+	ann, _ := e.AddVertex(core.Props{"name": core.S("ann"), "age": core.I(31)})
+	bob, _ := e.AddVertex(core.Props{"name": core.S("bob"), "age": core.I(27)})
+	cay, _ := e.AddVertex(core.Props{"name": core.S("cay"), "age": core.I(35)})
+	e.AddEdge(ann, bob, "knows", core.Props{"since": core.I(2015)})
+	e.AddEdge(bob, cay, "knows", nil)
+	e.AddEdge(ann, cay, "follows", nil)
+
+	ctx := context.Background()
+	g := gremlin.New(e)
+
+	// --- read (Q8–Q15) ---
+	nv, _ := g.V().Count(ctx)
+	ne, _ := g.E().Count(ctx)
+	fmt.Printf("graph has %d vertices, %d edges\n", nv, ne)
+
+	labels, _ := g.E().DistinctLabels(ctx)
+	fmt.Printf("edge labels: %v\n", labels)
+
+	hits, _ := g.VHas("name", core.S("bob")).IDs(ctx)
+	fmt.Printf("g.V.has(name, bob) -> %v\n", hits)
+
+	// --- traverse (Q22–Q27) ---
+	friends, _ := g.VID(ann).Out("knows").Values(ctx, "name")
+	fmt.Printf("ann knows: %v\n", friends)
+
+	twoHop, _ := g.VID(ann).Out().Out().Dedup().Values(ctx, "name")
+	fmt.Printf("two hops from ann: %v\n", twoHop)
+
+	// --- BFS and shortest path (Q32, Q34) ---
+	reach, _ := gremlin.BFS(ctx, e, ann, 2)
+	fmt.Printf("BFS(ann, depth 2) reaches %d vertices\n", len(reach))
+
+	path, _ := gremlin.ShortestPath(ctx, e, ann, cay)
+	fmt.Printf("shortest path ann->cay has %d vertices\n", len(path))
+
+	// --- update & delete (Q16–Q21) ---
+	e.SetVertexProp(ann, "age", core.I(32))
+	age, _ := e.VertexProp(ann, "age")
+	fmt.Printf("ann's age is now %v\n", age)
+
+	e.RemoveVertex(bob) // cascades to bob's edges
+	nv, _ = g.V().Count(ctx)
+	ne, _ = g.E().Count(ctx)
+	fmt.Printf("after removing bob: %d vertices, %d edges\n", nv, ne)
+
+	fmt.Printf("space: %d bytes across %d store components\n",
+		e.SpaceUsage().Total, len(e.SpaceUsage().Breakdown))
+}

@@ -1,0 +1,73 @@
+// Spacereport: reproduce Figure 1's space-occupancy comparison on one
+// dataset, with per-component breakdowns that show *why* each
+// architecture costs what it costs: BlazeGraph's three statement
+// indexes plus a pre-allocated journal, Titan's delta-encoded
+// adjacency, OrientDB's per-label cluster files, Neo4j's fixed-size
+// records.
+//
+// Run with:
+//
+//	go run ./examples/spacereport
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/graphson"
+)
+
+type sink struct{ n int64 }
+
+func (s *sink) Write(p []byte) (int, error) { s.n += int64(len(p)); return len(p), nil }
+
+func main() {
+	const scale = 0.002
+	spec := datasets.ByName("frb-m")
+	g := spec.Generate(scale)
+	var raw sink
+	if err := graphson.Write(&raw, g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at scale %g: %d vertices, %d edges, raw GraphSON %.2f MB\n\n",
+		spec.Name, scale, g.NumVertices(), g.NumEdges(), float64(raw.n)/(1<<20))
+
+	type entry struct {
+		name  string
+		total int64
+		parts []string
+	}
+	var rows []entry
+	for _, en := range engines.Names() {
+		e, err := engines.New(en)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := e.BulkLoad(g); err != nil {
+			log.Fatal(err)
+		}
+		r := e.SpaceUsage()
+		var parts []string
+		keys := make([]string, 0, len(r.Breakdown))
+		for k := range r.Breakdown {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return r.Breakdown[keys[i]] > r.Breakdown[keys[j]] })
+		for _, k := range keys {
+			if r.Breakdown[k] > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%.2fMB", k, float64(r.Breakdown[k])/(1<<20)))
+			}
+		}
+		rows = append(rows, entry{en, r.Total, parts})
+		e.Close()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total < rows[j].total })
+
+	fmt.Println("space occupancy, smallest first (Figure 1 shape: titan compact, blaze ~3x):")
+	for _, r := range rows {
+		fmt.Printf("  %-10s %8.2f MB   %v\n", r.name, float64(r.total)/(1<<20), r.parts)
+	}
+}

@@ -1,0 +1,62 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAdd measures the insert path behind the Sparksee engine's
+// fastest-in-study CUD operations.
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]uint64, b.N)
+	for i := range xs {
+		xs[i] = uint64(rng.Intn(1 << 24))
+	}
+	bm := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Add(xs[i])
+	}
+}
+
+// BenchmarkLen measures the popcount-style counting behind the fast Q8/Q9.
+func BenchmarkLen(b *testing.B) {
+	bm := New()
+	for i := uint64(0); i < 1_000_000; i++ {
+		bm.Add(i * 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bm.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	bm := New()
+	for i := uint64(0); i < 1_000_000; i++ {
+		bm.Add(i * 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Contains(uint64(i % 2_000_000))
+	}
+}
+
+// BenchmarkAndLen measures the label-filter intersection of the
+// Sparksee traversal path.
+func BenchmarkAndLen(b *testing.B) {
+	a, c := New(), New()
+	for i := uint64(0); i < 100_000; i++ {
+		a.Add(i)
+		if i%3 == 0 {
+			c.Add(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AndLen(a)
+	}
+}

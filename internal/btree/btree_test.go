@@ -1,0 +1,277 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		if !tr.Put(key(i*7%1000), []byte(fmt.Sprint(i*7%1000))) {
+			t.Fatalf("Put(%d) reported existing key", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(5000)); ok {
+		t.Fatalf("Get of absent key succeeded")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), []byte("v1"))
+	if tr.Put([]byte("k"), []byte("v2")) {
+		t.Fatalf("replacement reported as new key")
+	}
+	if v, _ := tr.Get([]byte("k")); string(v) != "v2" {
+		t.Fatalf("value not replaced: %q", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), key(i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	for _, i := range perm[:n/2] {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	deleted := make(map[int]bool)
+	for _, i := range perm[:n/2] {
+		deleted[i] = true
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if ok == deleted[i] {
+			t.Fatalf("Get(%d) = %v, deleted = %v", i, ok, deleted[i])
+		}
+	}
+	if tr.Delete(key(123456)) {
+		t.Fatalf("Delete of absent key reported success")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	for _, i := range rng.Perm(5000) {
+		tr.Put(key(i), nil)
+	}
+	c := tr.Scan()
+	var prev []byte
+	n := 0
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order at %d", n)
+		}
+		prev = append(prev[:0], k...)
+		n++
+	}
+	if n != 5000 {
+		t.Fatalf("scan visited %d keys", n)
+	}
+}
+
+func TestSeekAndRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i*2), nil) // even keys only
+	}
+	c := tr.Seek(key(51))
+	k, _, ok := c.Next()
+	if !ok || binary.BigEndian.Uint64(k) != 52 {
+		t.Fatalf("Seek(51) landed on %v", k)
+	}
+	var got []uint64
+	tr.AscendRange(key(10), key(20), func(k, _ []byte) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New()
+	for _, s := range []string{"ab", "abc", "abd", "ac", "b", "aa"} {
+		tr.Put([]byte(s), nil)
+	}
+	var got []string
+	tr.AscendPrefix([]byte("ab"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != fmt.Sprint([]string{"ab", "abc", "abd"}) {
+		t.Fatalf("prefix scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.AscendPrefix([]byte("a"), func(_, _ []byte) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBulkBuildMatchesIncremental(t *testing.T) {
+	const n = 3000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = key(i * 3)
+		vals[i] = []byte(fmt.Sprint(i))
+	}
+	bulk := New()
+	if err := bulk.BulkBuild(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != n {
+		t.Fatalf("bulk Len = %d", bulk.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := bulk.Get(key(i * 3))
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("bulk Get(%d) = %q, %v", i*3, v, ok)
+		}
+	}
+	// Scans must be ordered and complete, and further Puts must work.
+	seen := 0
+	var prev []byte
+	c := bulk.Scan()
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("bulk scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("bulk scan saw %d", seen)
+	}
+	bulk.Put(key(1), []byte("x"))
+	if v, ok := bulk.Get(key(1)); !ok || string(v) != "x" {
+		t.Fatalf("Put after bulk failed")
+	}
+}
+
+func TestBulkBuildRejectsUnsorted(t *testing.T) {
+	tr := New()
+	if err := tr.BulkBuild([][]byte{key(2), key(1)}, [][]byte{nil, nil}); err == nil {
+		t.Fatalf("unsorted BulkBuild accepted")
+	}
+	if err := tr.BulkBuild([][]byte{key(1)}, nil); err == nil {
+		t.Fatalf("mismatched lengths accepted")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	tr := New()
+	if tr.Bytes() < 0 {
+		t.Fatalf("negative bytes on empty tree")
+	}
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), bytes.Repeat([]byte("x"), 100))
+	}
+	grown := tr.Bytes()
+	if grown < 100*100 {
+		t.Fatalf("Bytes = %d does not cover payload", grown)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Delete(key(i))
+	}
+	if tr.Bytes() >= grown {
+		t.Fatalf("Bytes did not shrink after deletes: %d", tr.Bytes())
+	}
+}
+
+// TestQuickAgainstMap drives random Put/Delete/Get sequences and checks
+// the tree against a reference map, plus scan ordering invariants.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tr := New()
+		ref := make(map[string]string)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := string(key(int(op % 512)))
+			switch rng.Intn(3) {
+			case 0:
+				v := fmt.Sprint(rng.Intn(1000))
+				tr.Put([]byte(k), []byte(v))
+				ref[k] = v
+			case 1:
+				delete(ref, k)
+				tr.Delete([]byte(k))
+			case 2:
+				v, ok := tr.Get([]byte(k))
+				rv, rok := ref[k]
+				if ok != rok || (ok && string(v) != rv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Full scan equals sorted reference.
+		var want []string
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		c := tr.Scan()
+		for _, wk := range want {
+			k, v, ok := c.Next()
+			if !ok || string(k) != wk || string(v) != ref[wk] {
+				return false
+			}
+		}
+		_, _, ok := c.Next()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

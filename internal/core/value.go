@@ -1,0 +1,189 @@
+// Package core defines the property-graph data model shared by every
+// component of the benchmark suite: typed values, the in-memory dataset
+// graph, and the Engine contract that each storage engine implements.
+//
+// The model follows the attributed graph model of Angles & Gutierrez
+// (ACM CSUR 2008) as adopted by the paper: nodes and edges are first-class
+// objects with internal identifiers, edges carry a label, and both nodes
+// and edges carry a set of name/value properties.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the property value types supported by the suite.
+// The set matches what GraphSON (plain JSON) can carry.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNil Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact, comparable property value. The zero Value is Nil.
+//
+// A struct of unexported fields is used instead of an interface so that
+// values are comparable with ==, usable as map keys (needed by the
+// attribute indexes of several engines), and free of per-value heap
+// allocation.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64 // int payload, or float bits, or 0/1 for bool
+}
+
+// Nil is the absent value.
+var Nil = Value{}
+
+// S returns a string Value.
+func S(s string) Value { return Value{kind: KindString, str: s} }
+
+// I returns an integer Value.
+func I(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// F returns a float Value.
+func F(f float64) Value { return Value{kind: KindFloat, num: int64(math.Float64bits(f))} }
+
+// B returns a boolean Value.
+func B(b bool) Value {
+	if b {
+		return Value{kind: KindBool, num: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is absent.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// Str returns the string payload; it is "" for non-string values.
+func (v Value) Str() string { return v.str }
+
+// Int returns the integer payload; it is 0 for non-int values.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return v.num
+}
+
+// Float returns the float payload; it is 0 for non-float values.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		return 0
+	}
+	return math.Float64frombits(uint64(v.num))
+}
+
+// Bool returns the boolean payload; it is false for non-bool values.
+func (v Value) Bool() bool { return v.kind == KindBool && v.num == 1 }
+
+// String renders the value for human consumption.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.num == 1)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders values: first by kind, then by payload. It returns a
+// negative number, zero, or a positive number as v sorts before, equal
+// to, or after w. This total order is what the B+Tree-backed engines use
+// for their attribute indexes.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		return int(v.kind) - int(w.kind)
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.str < w.str:
+			return -1
+		case v.str > w.str:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		a, b := v.Float(), w.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case v.num < w.num:
+			return -1
+		case v.num > w.num:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Bytes returns an approximation of the in-memory footprint of the value,
+// used by the engines' space accounting.
+func (v Value) Bytes() int64 { return int64(16 + len(v.str)) }
+
+// Props is a set of name/value properties attached to a node or an edge.
+type Props map[string]Value
+
+// Clone returns a defensive copy of the property set.
+func (p Props) Clone() Props {
+	if p == nil {
+		return nil
+	}
+	q := make(Props, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// Bytes returns an approximation of the in-memory footprint of the set.
+func (p Props) Bytes() int64 {
+	var n int64
+	for k, v := range p {
+		n += int64(len(k)) + v.Bytes() + 16
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsRoundTrip(t *testing.T) {
+	if got := S("abc"); got.Kind() != KindString || got.Str() != "abc" {
+		t.Errorf("S(abc) = %v", got)
+	}
+	if got := I(-42); got.Kind() != KindInt || got.Int() != -42 {
+		t.Errorf("I(-42) = %v", got)
+	}
+	if got := F(3.25); got.Kind() != KindFloat || got.Float() != 3.25 {
+		t.Errorf("F(3.25) = %v", got)
+	}
+	if got := B(true); got.Kind() != KindBool || !got.Bool() {
+		t.Errorf("B(true) = %v", got)
+	}
+	if got := B(false); got.Bool() {
+		t.Errorf("B(false).Bool() = true")
+	}
+	if !Nil.IsNil() || Nil.Kind() != KindNil {
+		t.Errorf("Nil is not nil: %v", Nil)
+	}
+}
+
+func TestValueCrossKindAccessorsAreZero(t *testing.T) {
+	v := S("x")
+	if v.Int() != 0 || v.Float() != 0 || v.Bool() {
+		t.Errorf("string value leaked numeric payloads: %d %f %v", v.Int(), v.Float(), v.Bool())
+	}
+	w := I(7)
+	if w.Str() != "" || w.Float() != 0 {
+		t.Errorf("int value leaked other payloads")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Nil, "nil"},
+		{S("hello"), "hello"},
+		{I(12), "12"},
+		{F(1.5), "1.5"},
+		{B(true), "true"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueComparableAsMapKey(t *testing.T) {
+	m := map[Value]int{S("a"): 1, I(1): 2, F(1): 3, B(true): 4}
+	if len(m) != 4 {
+		t.Fatalf("distinct values collided: %v", m)
+	}
+	if m[S("a")] != 1 || m[I(1)] != 2 {
+		t.Fatalf("lookup failed")
+	}
+}
+
+func TestValueCompareTotalOrderInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		c := I(a).Compare(I(b))
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareTotalOrderStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		c := S(a).Compare(S(b))
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		vs := []Value{I(a), I(b), S(s1), S(s2), F(float64(a) / 3), B(a%2 == 0), Nil}
+		for _, x := range vs {
+			for _, y := range vs {
+				if sign(x.Compare(y)) != -sign(y.Compare(x)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestValueCompareKindsOrdered(t *testing.T) {
+	if S("z").Compare(I(0)) >= 0 == (KindString < KindInt) {
+		t.Errorf("cross-kind compare does not follow kind order")
+	}
+	if Nil.Compare(S("")) >= 0 {
+		t.Errorf("Nil should sort before strings")
+	}
+}
+
+func TestPropsClone(t *testing.T) {
+	p := Props{"a": I(1)}
+	q := p.Clone()
+	q["a"] = I(2)
+	q["b"] = I(3)
+	if p["a"].Int() != 1 || len(p) != 1 {
+		t.Errorf("Clone is not defensive: %v", p)
+	}
+	if Props(nil).Clone() != nil {
+		t.Errorf("nil clone should stay nil")
+	}
+}
+
+func TestPropsBytesGrowsWithContent(t *testing.T) {
+	small := Props{"k": S("v")}
+	big := Props{"k": S("a much longer value than v"), "k2": S("more")}
+	if small.Bytes() <= 0 || big.Bytes() <= small.Bytes() {
+		t.Errorf("Bytes accounting not monotone: %d vs %d", small.Bytes(), big.Bytes())
+	}
+}

@@ -1,0 +1,150 @@
+// Package datasets generates the benchmark datasets of Table 3. The
+// paper's real datasets (Yeast, MiCo, four Freebase samples) are not
+// redistributable, so each is replaced by a deterministic synthetic
+// generator matched to its reported characteristics: node/edge/label
+// counts, degree skew, component structure, and property shapes. The
+// ldbc dataset is generated directly (the paper, too, generates it with
+// the LDBC tool rather than using real data).
+//
+// All generators are seeded and take a scale factor: 1.0 reproduces the
+// paper's object counts, smaller values shrink node/edge counts
+// proportionally while keeping label cardinality and skew — the
+// *structural* properties that drive the engines apart — as close to
+// the paper as the size allows.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Table3Row is a row of the paper's Table 3 (dataset characteristics).
+type Table3Row struct {
+	V          int     // |V|
+	E          int     // |E|
+	L          int     // |L| distinct edge labels
+	Components int     // # connected components
+	MaxComp    int     // size of the largest component
+	Density    float64 // |E| / (|V|·(|V|−1))
+	Modularity float64 // modularity of the component partition
+	AvgDeg     float64 // average degree 2|E|/|V|
+	MaxDeg     int     // maximum degree
+	Diameter   int     // graph diameter (of the largest component)
+}
+
+// Spec describes one benchmark dataset.
+type Spec struct {
+	Name  string
+	Desc  string
+	Paper Table3Row // the characteristics reported in Table 3
+	// Generate builds the dataset at the given scale (1.0 = paper size).
+	Generate func(scale float64) *core.Graph
+}
+
+// Specs returns all datasets in Table 3 order.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "yeast",
+			Desc: "protein–protein interaction network (S. cerevisiae)",
+			Paper: Table3Row{V: 2_300, E: 7_100, L: 167, Components: 101, MaxComp: 2_200,
+				Density: 1.34e-3, Modularity: 3.66e-2, AvgDeg: 6.1, MaxDeg: 66, Diameter: 11},
+			Generate: Yeast,
+		},
+		{
+			Name: "mico",
+			Desc: "co-authorship network (Microsoft Academic, CS)",
+			Paper: Table3Row{V: 100_000, E: 1_100_000, L: 106, Components: 1_300, MaxComp: 93_000,
+				Density: 1.10e-6, Modularity: 5.45e-3, AvgDeg: 21.6, MaxDeg: 1_300, Diameter: 23},
+			Generate: MiCo,
+		},
+		{
+			Name: "frb-o",
+			Desc: "Freebase subset: organization/business/government/… topics",
+			Paper: Table3Row{V: 1_900_000, E: 4_300_000, L: 424, Components: 133_000, MaxComp: 1_600_000,
+				Density: 1.19e-6, Modularity: 9.82e-1, AvgDeg: 4.3, MaxDeg: 92_000, Diameter: 48},
+			Generate: func(s float64) *core.Graph { return freebase(frbO, s) },
+		},
+		{
+			Name: "frb-s",
+			Desc: "Freebase 0.1% random edge sample",
+			Paper: Table3Row{V: 500_000, E: 300_000, L: 1_814, Components: 160_000, MaxComp: 20_000,
+				Density: 1.20e-6, Modularity: 9.91e-1, AvgDeg: 1.3, MaxDeg: 13_000, Diameter: 4},
+			Generate: func(s float64) *core.Graph { return freebase(frbS, s) },
+		},
+		{
+			Name: "frb-m",
+			Desc: "Freebase 1% random edge sample",
+			Paper: Table3Row{V: 4_000_000, E: 3_100_000, L: 2_912, Components: 1_100_000, MaxComp: 1_400_000,
+				Density: 1.94e-7, Modularity: 7.97e-1, AvgDeg: 1.5, MaxDeg: 139_000, Diameter: 37},
+			Generate: func(s float64) *core.Graph { return freebase(frbM, s) },
+		},
+		{
+			Name: "frb-l",
+			Desc: "Freebase 10% random edge sample",
+			Paper: Table3Row{V: 28_400_000, E: 31_200_000, L: 3_821, Components: 2_000_000, MaxComp: 23_000_000,
+				Density: 3.87e-8, Modularity: 2.12e-1, AvgDeg: 2.2, MaxDeg: 1_400_000, Diameter: 33},
+			Generate: func(s float64) *core.Graph { return freebase(frbL, s) },
+		},
+		{
+			Name: "ldbc",
+			Desc: "LDBC SNB-style social network (1000 users, 3 years)",
+			Paper: Table3Row{V: 184_000, E: 1_500_000, L: 15, Components: 1, MaxComp: 184_000,
+				Density: 4.43e-5, Modularity: 0, AvgDeg: 16.6, MaxDeg: 48_000, Diameter: 10},
+			Generate: LDBC,
+		},
+	}
+}
+
+// ByName returns the named dataset spec, or nil.
+func ByName(name string) *Spec {
+	for _, s := range Specs() {
+		if s.Name == name {
+			s := s
+			return &s
+		}
+	}
+	return nil
+}
+
+// Names returns dataset names in Table 3 order.
+func Names() []string {
+	var out []string
+	for _, s := range Specs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// scaled returns max(lo, round(n*scale)).
+func scaled(n int, scale float64, lo int) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// powerLawIndex draws an index in [0, n) with a hub bias: index 0 is
+// the biggest hub. alpha around 0.6–0.8 produces Freebase-like skew.
+func powerLawIndex(rng *rand.Rand, n int, alpha float64) int {
+	u := rng.Float64()
+	i := int(math.Pow(u, 1/(1-alpha)) * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// zipfLabel draws one of n labels with Zipfian frequency, named
+// prefix0..prefix<n-1>.
+func zipfLabel(rng *rand.Rand, zipf *rand.Zipf, prefix string, n int) string {
+	i := int(zipf.Uint64())
+	if i >= n {
+		i = n - 1
+	}
+	return fmt.Sprintf("%s%d", prefix, i)
+}

@@ -1,0 +1,115 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// frbProfile parameterizes the Freebase-family generator on the paper's
+// Table 3 characteristics. The four samples differ in size, label
+// cardinality, and edge/node ratio (which drives their fragmentation).
+type frbProfile struct {
+	name   string
+	seed   int64
+	nodes  int
+	edges  int
+	labels int
+	// hubAlpha controls degree skew: higher → stronger hubs.
+	hubAlpha float64
+	// giantFrac bounds the largest connected component as a fraction of
+	// |V| (Table 3's Maxim column): edges never leave their node block,
+	// which reproduces the fragmentation of random edge sampling.
+	giantFrac float64
+	topics    []string
+}
+
+var commonTopics = []string{
+	"people", "location", "film", "music", "book", "sports",
+	"education", "medicine", "biology", "astronomy",
+}
+
+var orgTopics = []string{
+	"organization", "business", "government", "finance", "geography", "military",
+}
+
+var (
+	frbS = frbProfile{name: "frb-s", seed: 1001, nodes: 500_000, edges: 300_000,
+		labels: 1_814, hubAlpha: 0.62, giantFrac: 0.04, topics: commonTopics}
+	frbO = frbProfile{name: "frb-o", seed: 1002, nodes: 1_900_000, edges: 4_300_000,
+		labels: 424, hubAlpha: 0.70, giantFrac: 0.84, topics: orgTopics}
+	frbM = frbProfile{name: "frb-m", seed: 1003, nodes: 4_000_000, edges: 3_100_000,
+		labels: 2_912, hubAlpha: 0.68, giantFrac: 0.35, topics: commonTopics}
+	frbL = frbProfile{name: "frb-l", seed: 1004, nodes: 28_400_000, edges: 31_200_000,
+		labels: 3_821, hubAlpha: 0.72, giantFrac: 0.81, topics: commonTopics}
+)
+
+// freebase generates a knowledge-base-like multigraph: entity nodes
+// with mid/name/type properties, Zipfian edge-label usage over a large
+// label vocabulary, strong hubs, and — because edges are drawn
+// independently of any connectivity goal, exactly like the paper's
+// random edge sampling — heavy fragmentation with many singleton
+// components.
+func freebase(p frbProfile, scale float64) *core.Graph {
+	rng := rand.New(rand.NewSource(p.seed))
+	n := scaled(p.nodes, scale, 300)
+	m := scaled(p.edges, scale, 200)
+	labels := p.labels
+	if labels > m/2 {
+		labels = m/2 + 1 // keep label reuse plausible at tiny scales
+	}
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(labels-1))
+
+	g := core.NewGraph(n, m)
+	for i := 0; i < n; i++ {
+		topic := p.topics[i%len(p.topics)]
+		props := core.Props{
+			"mid":  core.S(fmt.Sprintf("/m/%s.%07x", p.name, i)),
+			"type": core.S(topic),
+		}
+		// As in Freebase, only a fraction of entities carry names.
+		if i%3 != 0 {
+			props["name"] = core.S(fmt.Sprintf("%s entity %d", topic, i))
+		}
+		g.AddVertex(props)
+	}
+	// Node blocks: [0, giant) is the block hosting the largest
+	// component; the rest of the node space falls into blocks of ~1% of
+	// |V|. Both endpoints of an edge stay inside the source's block, so
+	// components never outgrow their block — the fragmentation the
+	// paper's Table 3 reports for the Freebase samples — while nodes
+	// untouched by any edge remain singletons, giving the very large
+	// component counts.
+	giant := int(float64(n) * p.giantFrac)
+	if giant < 10 {
+		giant = 10
+	}
+	small := n / 100
+	if small < 8 {
+		small = 8
+	}
+	blockOf := func(v int) (start, size int) {
+		if v < giant {
+			return 0, giant
+		}
+		b := (v - giant) / small
+		start = giant + b*small
+		end := start + small
+		if end > n {
+			end = n
+		}
+		return start, end - start
+	}
+	for i := 0; i < m; i++ {
+		src := rng.Intn(n)
+		start, size := blockOf(src)
+		// Objects (dst) are hub-biased within the block: a few entities
+		// (countries, types, popular people) accumulate enormous
+		// in-degree.
+		dst := start + powerLawIndex(rng, size, p.hubAlpha)
+		label := zipfLabel(rng, zipf, "/rel/r", labels)
+		g.AddEdge(src, dst, label, nil)
+	}
+	return g
+}

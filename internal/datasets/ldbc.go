@@ -1,0 +1,172 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// The 15 edge labels of the ldbc dataset (Table 3 reports |L| = 15).
+var ldbcLabels = []string{
+	"knows", "livesIn", "worksAt", "studyAt", "hasInterest",
+	"hasModerator", "hasMember", "containerOf", "created", "likes",
+	"hasTag", "replyOf", "locatedIn", "isPartOf", "follows",
+}
+
+// LDBC generates the LDBC-SNB-style social network: the only dataset
+// with properties on both nodes and edges, a single connected
+// component, power-law user activity, and assortative interests — the
+// characteristics for which the paper selects the LDBC generator over
+// a real social-network dump.
+func LDBC(scale float64) *core.Graph {
+	rng := rand.New(rand.NewSource(7))
+	totalV := scaled(184_000, scale, 1_500)
+	totalE := scaled(1_500_000, scale, 12_000)
+
+	// Node composition (fractions chosen to mimic SNB output: content
+	// dominates, persons are few).
+	nPersons := totalV * 2 / 100
+	if nPersons < 50 {
+		nPersons = 50
+	}
+	nForums := totalV * 2 / 100
+	nTags := totalV * 3 / 100
+	nPlaces := totalV / 100
+	nOrgs := totalV / 100
+	if nForums < 5 {
+		nForums = 5
+	}
+	if nTags < 10 {
+		nTags = 10
+	}
+	if nPlaces < 5 {
+		nPlaces = 5
+	}
+	if nOrgs < 4 {
+		nOrgs = 4
+	}
+	nPosts := totalV - nPersons - nForums - nTags - nPlaces - nOrgs
+
+	g := core.NewGraph(totalV, totalE)
+	browsers := []string{"Firefox", "Chrome", "Safari", "Opera"}
+
+	person := make([]int, nPersons)
+	for i := range person {
+		person[i] = g.AddVertex(core.Props{
+			"kind":      core.S("person"),
+			"uid":       core.I(int64(g.NumVertices())),
+			"firstName": core.S(fmt.Sprintf("First%04d", i)),
+			"lastName":  core.S(fmt.Sprintf("Last%04d", i%500)),
+			"birthday":  core.I(int64(1950 + rng.Intn(55))),
+			"browser":   core.S(browsers[rng.Intn(len(browsers))]),
+			"ip":        core.S(fmt.Sprintf("10.%d.%d.%d", rng.Intn(256), rng.Intn(256), rng.Intn(256))),
+		})
+	}
+	place := make([]int, nPlaces)
+	for i := range place {
+		place[i] = g.AddVertex(core.Props{
+			"kind": core.S("place"), "uid": core.I(int64(g.NumVertices())),
+			"name": core.S(fmt.Sprintf("city-%03d", i)),
+		})
+	}
+	org := make([]int, nOrgs)
+	for i := range org {
+		kind := "company"
+		if i%2 == 1 {
+			kind = "university"
+		}
+		org[i] = g.AddVertex(core.Props{
+			"kind": core.S(kind), "uid": core.I(int64(g.NumVertices())),
+			"name": core.S(fmt.Sprintf("%s-%03d", kind, i)),
+		})
+	}
+	tag := make([]int, nTags)
+	for i := range tag {
+		tag[i] = g.AddVertex(core.Props{
+			"kind": core.S("tag"), "uid": core.I(int64(g.NumVertices())),
+			"name": core.S(fmt.Sprintf("tag-%04d", i)),
+		})
+	}
+	forum := make([]int, nForums)
+	for i := range forum {
+		forum[i] = g.AddVertex(core.Props{
+			"kind": core.S("forum"), "uid": core.I(int64(g.NumVertices())),
+			"title": core.S(fmt.Sprintf("forum-%04d", i)),
+		})
+	}
+	post := make([]int, nPosts)
+	for i := range post {
+		post[i] = g.AddVertex(core.Props{
+			"kind": core.S("post"), "uid": core.I(int64(g.NumVertices())),
+			"length": core.I(int64(10 + rng.Intn(500))),
+		})
+	}
+
+	day := func() core.Value { return core.I(int64(rng.Intn(1095))) } // 3 years
+	euid := func() core.Props {
+		return core.Props{"uid": core.I(int64(g.NumEdges())), "at": day()}
+	}
+
+	// --- connectivity skeleton: guarantees one component ---
+	for i := 1; i < nPersons; i++ {
+		// Chain + preferential attachment gives connected power-law knows.
+		g.AddEdge(person[i], person[powerLawIndex(rng, i, 0.55)], "knows",
+			core.Props{"uid": core.I(int64(g.NumEdges())), "since": day()})
+	}
+	for i, p := range place {
+		if i > 0 {
+			g.AddEdge(place[i], place[0], "isPartOf", euid())
+		}
+		_ = p
+	}
+	for i, o := range org {
+		g.AddEdge(o, place[i%nPlaces], "locatedIn", euid())
+	}
+	for i, f := range forum {
+		g.AddEdge(f, person[i%nPersons], "hasModerator", euid())
+	}
+	for i, po := range post {
+		creator := person[powerLawIndex(rng, nPersons, 0.6)]
+		g.AddEdge(creator, po, "created", euid())
+		g.AddEdge(forum[i%nForums], po, "containerOf", euid())
+	}
+	for i, tg := range tag {
+		g.AddEdge(post[i%nPosts], tg, "hasTag", euid())
+	}
+	for _, p := range person {
+		g.AddEdge(p, place[rng.Intn(nPlaces)], "livesIn", euid())
+		g.AddEdge(p, org[rng.Intn(nOrgs)], "worksAt",
+			core.Props{"uid": core.I(int64(g.NumEdges())), "since": day()})
+		g.AddEdge(p, org[rng.Intn(nOrgs)], "studyAt",
+			core.Props{"uid": core.I(int64(g.NumEdges())), "classYear": core.I(int64(1990 + rng.Intn(25)))})
+	}
+
+	// --- activity: fill the remaining edge budget ---
+	for g.NumEdges() < totalE {
+		p := person[powerLawIndex(rng, nPersons, 0.6)]
+		switch rng.Intn(10) {
+		case 0, 1, 2: // likes dominate, hub posts attract most
+			g.AddEdge(p, post[powerLawIndex(rng, nPosts, 0.7)], "likes", euid())
+		case 3, 4:
+			g.AddEdge(p, post[rng.Intn(nPosts)], "likes", euid())
+		case 5:
+			g.AddEdge(p, person[powerLawIndex(rng, nPersons, 0.55)], "knows",
+				core.Props{"uid": core.I(int64(g.NumEdges())), "since": day()})
+		case 6:
+			g.AddEdge(p, tag[rng.Intn(nTags)], "hasInterest", euid())
+		case 7:
+			g.AddEdge(forum[rng.Intn(nForums)], p, "hasMember",
+				core.Props{"uid": core.I(int64(g.NumEdges())), "joined": day()})
+		case 8:
+			g.AddEdge(p, forum[rng.Intn(nForums)], "follows", euid())
+		case 9:
+			a := rng.Intn(nPosts)
+			b := rng.Intn(nPosts)
+			if a != b {
+				g.AddEdge(post[a], post[b], "replyOf", euid())
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,186 @@
+package datasets
+
+import (
+	"repro/internal/core"
+)
+
+// Stats computes the Table 3 characteristics of a dataset graph:
+// connected components (treating edges as undirected, as the paper's
+// component and diameter figures do), density, modularity of the
+// component partition, degree statistics, and a double-sweep BFS
+// estimate of the largest component's diameter.
+func Stats(g *core.Graph) Table3Row {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	row := Table3Row{V: n, E: m, L: len(g.Labels())}
+	if n == 0 {
+		return row
+	}
+
+	// Union-find over undirected edges.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := range g.EdgeL {
+		union(int32(g.EdgeL[i].Src), int32(g.EdgeL[i].Dst))
+	}
+	compSize := make(map[int32]int)
+	compEdges := make(map[int32]int)
+	compDeg := make(map[int32]int)
+	for i := 0; i < n; i++ {
+		compSize[find(int32(i))]++
+	}
+	for i := range g.EdgeL {
+		c := find(int32(g.EdgeL[i].Src))
+		compEdges[c]++
+		compDeg[c] += 2
+	}
+	row.Components = len(compSize)
+	var maxComp int32
+	for c, s := range compSize {
+		if s > compSize[maxComp] || row.MaxComp == 0 {
+			maxComp = c
+			row.MaxComp = s
+		}
+	}
+
+	// Density of the directed graph.
+	if n > 1 {
+		row.Density = float64(m) / (float64(n) * float64(n-1))
+	}
+
+	// Modularity of the component partition:
+	// Q = Σ_c [ e_c/m − (d_c/2m)² ]. With components as communities,
+	// Σ e_c = m, so Q = 1 − Σ (d_c/2m)² — zero for a single component,
+	// approaching 1 for many comparable fragments; this reproduces the
+	// shape of the paper's modularity column.
+	if m > 0 {
+		sum := 0.0
+		for _, d := range compDeg {
+			frac := float64(d) / float64(2*m)
+			sum += frac * frac
+		}
+		row.Modularity = 1 - sum
+	}
+
+	// Degrees (undirected, as in Table 3's Avg = 2|E|/|V|).
+	deg := make([]int, n)
+	for i := range g.EdgeL {
+		deg[g.EdgeL[i].Src]++
+		deg[g.EdgeL[i].Dst]++
+	}
+	for _, d := range deg {
+		if d > row.MaxDeg {
+			row.MaxDeg = d
+		}
+	}
+	row.AvgDeg = 2 * float64(m) / float64(n)
+
+	// Diameter estimate: double-sweep BFS on the largest component
+	// (exact diameters are infeasible at these sizes; the double sweep
+	// is a standard tight lower bound).
+	if m > 0 {
+		adj := g.Adjacency()
+		var seed int
+		for i := 0; i < n; i++ {
+			if find(int32(i)) == maxComp {
+				seed = i
+				break
+			}
+		}
+		far, _ := bfsFarthest(adj, seed)
+		far2, dist := bfsFarthest(adj, far)
+		_ = far2
+		row.Diameter = dist
+	}
+	return row
+}
+
+// bfsFarthest returns the vertex farthest from start and its distance.
+func bfsFarthest(adj [][]int, start int) (int, int) {
+	dist := make(map[int]int, 1024)
+	dist[start] = 0
+	frontier := []int{start}
+	farNode, farDist := start, 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range adj[v] {
+				if _, seen := dist[w]; seen {
+					continue
+				}
+				d := dist[v] + 1
+				dist[w] = d
+				if d > farDist {
+					farNode, farDist = w, d
+				}
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return farNode, farDist
+}
+
+// PickRandom draws deterministic benchmark parameters from a dataset
+// graph: the harness uses it so the same logical objects are used on
+// every engine (Section 5's fairness requirement). It prefers vertices
+// that have edges, since most per-vertex queries are uninteresting on
+// isolated vertices.
+type Picks struct {
+	Vertices []int // dataset vertex indexes with degree > 0
+	Edges    []int // dataset edge indexes
+}
+
+// Pick samples k connected vertices and k edges with the given seed.
+func Pick(g *core.Graph, seed int64, k int) Picks {
+	deg := make([]int, g.NumVertices())
+	for i := range g.EdgeL {
+		deg[g.EdgeL[i].Src]++
+		deg[g.EdgeL[i].Dst]++
+	}
+	var connected []int
+	for v, d := range deg {
+		if d > 0 {
+			connected = append(connected, v)
+		}
+	}
+	rng := newSplitMix(seed)
+	p := Picks{}
+	for i := 0; i < k && len(connected) > 0; i++ {
+		p.Vertices = append(p.Vertices, connected[int(rng.next()%uint64(len(connected)))])
+	}
+	for i := 0; i < k && g.NumEdges() > 0; i++ {
+		p.Edges = append(p.Edges, int(rng.next()%uint64(g.NumEdges())))
+	}
+	return p
+}
+
+// splitMix is a tiny deterministic PRNG, independent of math/rand's
+// stream so picks stay stable even if generators change.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{s: uint64(seed)} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,95 @@
+// Package enc provides order-preserving key encodings for the B+Tree-
+// and LSM-backed engines: composite index keys compare correctly under
+// bytes.Compare iff each component is encoded with these helpers.
+package enc
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Uint64 appends x big-endian, preserving unsigned order.
+func Uint64(b []byte, x uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], x)
+	return append(b, buf[:]...)
+}
+
+// Int64 appends x with the sign bit flipped, preserving signed order.
+func Int64(b []byte, x int64) []byte {
+	return Uint64(b, uint64(x)^(1<<63))
+}
+
+// TakeUint64 decodes a Uint64 from the front of b.
+func TakeUint64(b []byte) (uint64, []byte) {
+	return binary.BigEndian.Uint64(b), b[8:]
+}
+
+// TakeInt64 decodes an Int64 from the front of b.
+func TakeInt64(b []byte) (int64, []byte) {
+	u, rest := TakeUint64(b)
+	return int64(u ^ (1 << 63)), rest
+}
+
+// String appends s escaped and terminated so that (a) ordering is
+// preserved, and (b) no encoded string is a prefix of another (needed
+// for exact-equality prefix scans). 0x00 bytes in s become 0x00 0xFF;
+// the terminator is 0x00 0x00.
+func String(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == 0x00 {
+			b = append(b, 0x00, 0xFF)
+		} else {
+			b = append(b, c)
+		}
+	}
+	return append(b, 0x00, 0x00)
+}
+
+// Value kind tags. Distinct from core.Kind values so that the encoding
+// is self-contained; the tag is the first byte and makes values of
+// different kinds sort by kind, matching core.Value.Compare.
+const (
+	tagNil    = 0x01
+	tagString = 0x02
+	tagInt    = 0x03
+	tagFloat  = 0x04
+	tagBool   = 0x05
+)
+
+// Value appends an order-preserving encoding of v: values compare under
+// bytes.Compare exactly as under core.Value.Compare, and no encoding is
+// a prefix of another.
+func Value(b []byte, v core.Value) []byte {
+	switch v.Kind() {
+	case core.KindNil:
+		return append(b, tagNil)
+	case core.KindString:
+		return String(append(b, tagString), v.Str())
+	case core.KindInt:
+		return Int64(append(b, tagInt), v.Int())
+	case core.KindFloat:
+		f := v.Float()
+		bits := floatBits(f)
+		return Uint64(append(b, tagFloat), bits)
+	case core.KindBool:
+		if v.Bool() {
+			return append(b, tagBool, 1)
+		}
+		return append(b, tagBool, 0)
+	}
+	return append(b, tagNil)
+}
+
+// floatBits maps float64 to uint64 preserving order: positive floats
+// get the sign bit set; negative floats are fully inverted.
+func floatBits(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | (1 << 63)
+}

@@ -1,0 +1,107 @@
+package enc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestUint64Order(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ea, eb := Uint64(nil, a), Uint64(nil, b)
+		c := bytes.Compare(ea, eb)
+		return (a < b) == (c < 0) && (a == b) == (c == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64OrderAndRoundTrip(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := Int64(nil, a), Int64(nil, b)
+		c := bytes.Compare(ea, eb)
+		if (a < b) != (c < 0) || (a == b) != (c == 0) {
+			return false
+		}
+		got, rest := TakeInt64(ea)
+		return got == a && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOrderAndPrefixFreedom(t *testing.T) {
+	f := func(a, b string) bool {
+		ea, eb := String(nil, a), String(nil, b)
+		c := bytes.Compare(ea, eb)
+		if (a < b) != (c < 0) || (a == b) != (c == 0) {
+			return false
+		}
+		// Prefix freedom: distinct strings never have prefix-related encodings.
+		if a != b && (bytes.HasPrefix(ea, eb) || bytes.HasPrefix(eb, ea)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringWithNulBytes(t *testing.T) {
+	a := String(nil, "a\x00b")
+	b := String(nil, "a")
+	if bytes.Compare(b, a) >= 0 {
+		t.Fatalf(`"a" must sort before "a\x00b"`)
+	}
+	if bytes.HasPrefix(a, b) {
+		t.Fatalf("embedded NUL broke prefix freedom")
+	}
+}
+
+func TestValueOrderMatchesCompare(t *testing.T) {
+	vals := []core.Value{
+		core.Nil,
+		core.S(""), core.S("a"), core.S("ab"), core.S("b"),
+		core.I(-5), core.I(0), core.I(7),
+		core.F(-1.5), core.F(0), core.F(2.25),
+		core.B(false), core.B(true),
+	}
+	for _, x := range vals {
+		for _, y := range vals {
+			ex, ey := Value(nil, x), Value(nil, y)
+			c := bytes.Compare(ex, ey)
+			want := x.Compare(y)
+			if sign(c) != sign(want) {
+				t.Errorf("Value order mismatch: %v vs %v: bytes %d, Compare %d", x, y, c, want)
+			}
+		}
+	}
+}
+
+func TestValueFloatNegativeOrder(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b { // skip NaN
+			return true
+		}
+		c := bytes.Compare(Value(nil, core.F(a)), Value(nil, core.F(b)))
+		return (a < b) == (c < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}

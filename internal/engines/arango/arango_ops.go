@@ -1,0 +1,478 @@
+package arango
+
+import (
+	"repro/internal/core"
+)
+
+// --- vertex CRUD (each interactive op crosses the REST boundary) ---
+
+// AddVertex implements core.Engine. The write is acknowledged once the
+// document is registered in memory (asynchronous durability, as the
+// paper notes), so this is fast despite the REST hop.
+func (e *Engine) AddVertex(props core.Props) (core.ID, error) {
+	e.call("insert-vertex", core.NoID)
+	id := core.ID(e.nextID)
+	e.nextID++
+	e.vdocs[id] = e.encodeVertexDoc(id, props)
+	e.call("insert-vertex-resp", id)
+	return id, nil
+}
+
+// HasVertex implements core.Engine.
+func (e *Engine) HasVertex(id core.ID) bool {
+	_, ok := e.vdocs[id]
+	return ok
+}
+
+// VertexProps implements core.Engine.
+func (e *Engine) VertexProps(id core.ID) (core.Props, error) {
+	e.call("document", id)
+	doc, ok := e.vdocs[id]
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return decodeDoc(doc)
+}
+
+// VertexProp implements core.Engine.
+func (e *Engine) VertexProp(id core.ID, name string) (core.Value, bool) {
+	p, err := e.VertexProps(id)
+	if err != nil {
+		return core.Nil, false
+	}
+	v, ok := p[name]
+	return v, ok
+}
+
+// SetVertexProp implements core.Engine: read-modify-write of the whole
+// document (documents are self-contained).
+func (e *Engine) SetVertexProp(id core.ID, name string, v core.Value) error {
+	e.call("update-vertex", id, name)
+	doc, ok := e.vdocs[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	p, err := decodeDoc(doc)
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		p = core.Props{}
+	}
+	p[name] = v
+	e.vdocs[id] = e.encodeVertexDoc(id, p)
+	return nil
+}
+
+// RemoveVertexProp implements core.Engine.
+func (e *Engine) RemoveVertexProp(id core.ID, name string) error {
+	e.call("unset-vertex", id, name)
+	doc, ok := e.vdocs[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	p, err := decodeDoc(doc)
+	if err != nil {
+		return err
+	}
+	delete(p, name)
+	e.vdocs[id] = e.encodeVertexDoc(id, p)
+	return nil
+}
+
+// RemoveVertex implements core.Engine.
+func (e *Engine) RemoveVertex(id core.ID) error {
+	e.call("remove-vertex", id)
+	if _, ok := e.vdocs[id]; !ok {
+		return core.ErrNotFound
+	}
+	incident := append(append([]core.ID(nil), e.outIdx[id]...), e.inIdx[id]...)
+	for _, eid := range incident {
+		if _, ok := e.edocs[eid]; ok {
+			e.removeEdgeInternal(eid)
+		}
+	}
+	delete(e.vdocs, id)
+	delete(e.outIdx, id)
+	delete(e.inIdx, id)
+	return nil
+}
+
+// --- edge CRUD ---
+
+// AddEdge implements core.Engine.
+func (e *Engine) AddEdge(src, dst core.ID, label string, props core.Props) (core.ID, error) {
+	e.call("insert-edge", src)
+	if !e.HasVertexQuiet(src) || !e.HasVertexQuiet(dst) {
+		return core.NoID, core.ErrNotFound
+	}
+	id := core.ID(e.nextID)
+	e.nextID++
+	e.edocs[id] = e.encodeEdgeDoc(id, src, dst, label, props)
+	e.edgeIdx[id] = edgeEntry{src: src, dst: dst, label: e.labelTok(label)}
+	e.outIdx[src] = append(e.outIdx[src], id)
+	e.inIdx[dst] = append(e.inIdx[dst], id)
+	e.call("insert-edge-resp", id)
+	return id, nil
+}
+
+// HasVertexQuiet checks existence without a REST hop (used inside
+// server-side operations).
+func (e *Engine) HasVertexQuiet(id core.ID) bool {
+	_, ok := e.vdocs[id]
+	return ok
+}
+
+// HasEdge implements core.Engine.
+func (e *Engine) HasEdge(id core.ID) bool {
+	_, ok := e.edocs[id]
+	return ok
+}
+
+// EdgeLabel implements core.Engine: served by the hash index.
+func (e *Engine) EdgeLabel(id core.ID) (string, error) {
+	ent, ok := e.edgeIdx[id]
+	if !ok {
+		return "", core.ErrNotFound
+	}
+	return e.labels[ent.label], nil
+}
+
+// EdgeEnds implements core.Engine: served by the hash index.
+func (e *Engine) EdgeEnds(id core.ID) (core.ID, core.ID, error) {
+	ent, ok := e.edgeIdx[id]
+	if !ok {
+		return core.NoID, core.NoID, core.ErrNotFound
+	}
+	return ent.src, ent.dst, nil
+}
+
+// EdgeProps implements core.Engine.
+func (e *Engine) EdgeProps(id core.ID) (core.Props, error) {
+	e.call("document", id)
+	doc, ok := e.edocs[id]
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return decodeDoc(doc)
+}
+
+// EdgeProp implements core.Engine.
+func (e *Engine) EdgeProp(id core.ID, name string) (core.Value, bool) {
+	p, err := e.EdgeProps(id)
+	if err != nil {
+		return core.Nil, false
+	}
+	v, ok := p[name]
+	return v, ok
+}
+
+// SetEdgeProp implements core.Engine.
+func (e *Engine) SetEdgeProp(id core.ID, name string, v core.Value) error {
+	e.call("update-edge", id, name)
+	doc, ok := e.edocs[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	p, err := decodeDoc(doc)
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		p = core.Props{}
+	}
+	p[name] = v
+	ent := e.edgeIdx[id]
+	e.edocs[id] = e.encodeEdgeDoc(id, ent.src, ent.dst, e.labels[ent.label], p)
+	return nil
+}
+
+// RemoveEdgeProp implements core.Engine.
+func (e *Engine) RemoveEdgeProp(id core.ID, name string) error {
+	e.call("unset-edge", id, name)
+	doc, ok := e.edocs[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	p, err := decodeDoc(doc)
+	if err != nil {
+		return err
+	}
+	delete(p, name)
+	ent := e.edgeIdx[id]
+	e.edocs[id] = e.encodeEdgeDoc(id, ent.src, ent.dst, e.labels[ent.label], p)
+	return nil
+}
+
+// RemoveEdge implements core.Engine.
+func (e *Engine) RemoveEdge(id core.ID) error {
+	e.call("remove-edge", id)
+	if _, ok := e.edocs[id]; !ok {
+		return core.ErrNotFound
+	}
+	e.removeEdgeInternal(id)
+	return nil
+}
+
+func (e *Engine) removeEdgeInternal(id core.ID) {
+	ent := e.edgeIdx[id]
+	e.outIdx[ent.src] = removeID(e.outIdx[ent.src], id)
+	e.inIdx[ent.dst] = removeID(e.inIdx[ent.dst], id)
+	delete(e.edocs, id)
+	delete(e.edgeIdx, id)
+}
+
+// --- scans ---
+
+// CountVertices implements core.Engine: a collection count, no
+// materialization (one of the few whole-graph queries this engine
+// finished in the paper).
+func (e *Engine) CountVertices() (int64, error) {
+	e.call("count-vertices", core.NoID)
+	return int64(len(e.vdocs)), nil
+}
+
+// CountEdges implements core.Engine. The AQL translation materializes
+// every edge document while counting — the paper's explanation for this
+// engine timing out on edge iteration.
+func (e *Engine) CountEdges() (int64, error) {
+	e.call("count-edges", core.NoID)
+	var n int64
+	for _, doc := range e.edocs {
+		if _, err := decodeDoc(doc); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Vertices implements core.Engine.
+func (e *Engine) Vertices() core.Iter[core.ID] {
+	e.call("all-vertices", core.NoID)
+	return core.SliceIter(sortedKeys(e.vdocs))
+}
+
+// Edges implements core.Engine: materializes every document up front.
+func (e *Engine) Edges() core.Iter[core.ID] {
+	e.call("all-edges", core.NoID)
+	keys := sortedKeys(e.edocs)
+	for _, id := range keys {
+		_, _ = decodeDoc(e.edocs[id])
+	}
+	return core.SliceIter(keys)
+}
+
+// VerticesByProp implements core.Engine: a full collection scan with
+// document materialization (indexes bring no change; see package doc).
+func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
+	e.call("filter-vertices", core.NoID, name)
+	var out []core.ID
+	for _, id := range sortedKeys(e.vdocs) {
+		p, err := decodeDoc(e.vdocs[id])
+		if err != nil {
+			continue
+		}
+		if got, ok := p[name]; ok && got.Compare(v) == 0 {
+			out = append(out, id)
+		}
+	}
+	return core.SliceIter(out)
+}
+
+// EdgesByProp implements core.Engine.
+func (e *Engine) EdgesByProp(name string, v core.Value) core.Iter[core.ID] {
+	e.call("filter-edges", core.NoID, name)
+	var out []core.ID
+	for _, id := range sortedKeys(e.edocs) {
+		p, err := decodeDoc(e.edocs[id])
+		if err != nil {
+			continue
+		}
+		if got, ok := p[name]; ok && got.Compare(v) == 0 {
+			out = append(out, id)
+		}
+	}
+	return core.SliceIter(out)
+}
+
+// EdgesByLabel implements core.Engine: scan with materialization.
+func (e *Engine) EdgesByLabel(label string) core.Iter[core.ID] {
+	e.call("filter-edges-label", core.NoID, label)
+	tok, ok := e.labelID[label]
+	if !ok {
+		return core.EmptyIter[core.ID]()
+	}
+	var out []core.ID
+	for _, id := range sortedKeys(e.edocs) {
+		_, _ = decodeDoc(e.edocs[id])
+		if e.edgeIdx[id].label == tok {
+			out = append(out, id)
+		}
+	}
+	return core.SliceIter(out)
+}
+
+// --- traversal (hash-index served: the engine's strong suit) ---
+
+// IncidentEdges implements core.Engine.
+func (e *Engine) IncidentEdges(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	e.call("neighbors", id)
+	if !e.HasVertexQuiet(id) {
+		return core.EmptyIter[core.ID]()
+	}
+	var want map[uint32]bool
+	if len(labels) > 0 {
+		want = make(map[uint32]bool, len(labels))
+		for _, l := range labels {
+			if tok, ok := e.labelID[l]; ok {
+				want[tok] = true
+			}
+		}
+		if len(want) == 0 {
+			return core.EmptyIter[core.ID]()
+		}
+	}
+	match := func(eid core.ID) bool {
+		return want == nil || want[e.edgeIdx[eid].label]
+	}
+	var list []core.ID
+	switch d {
+	case core.DirOut:
+		list = e.outIdx[id]
+	case core.DirIn:
+		list = e.inIdx[id]
+	default:
+		list = append(append([]core.ID(nil), e.outIdx[id]...), e.inIdx[id]...)
+	}
+	inStart := -1
+	if d == core.DirBoth {
+		inStart = len(e.outIdx[id])
+	}
+	i := 0
+	return func() (core.ID, bool) {
+		for i < len(list) {
+			eid := list[i]
+			fromIn := inStart >= 0 && i >= inStart
+			i++
+			if !match(eid) {
+				continue
+			}
+			if fromIn {
+				if ent := e.edgeIdx[eid]; ent.src == ent.dst {
+					continue // loop already yielded by the out pass
+				}
+			}
+			return eid, true
+		}
+		return core.NoID, false
+	}
+}
+
+// Neighbors implements core.Engine.
+func (e *Engine) Neighbors(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	inner := e.IncidentEdges(id, d, labels...)
+	return func() (core.ID, bool) {
+		eid, ok := inner()
+		if !ok {
+			return core.NoID, false
+		}
+		ent := e.edgeIdx[eid]
+		if ent.src != id {
+			return ent.src, true
+		}
+		return ent.dst, true
+	}
+}
+
+// Degree implements core.Engine.
+func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
+	if !e.HasVertexQuiet(id) {
+		return 0, core.ErrNotFound
+	}
+	switch d {
+	case core.DirOut:
+		return int64(len(e.outIdx[id])), nil
+	case core.DirIn:
+		return int64(len(e.inIdx[id])), nil
+	default:
+		loops := 0
+		for _, eid := range e.inIdx[id] {
+			if ent := e.edgeIdx[eid]; ent.src == ent.dst {
+				loops++
+			}
+		}
+		return int64(len(e.outIdx[id]) + len(e.inIdx[id]) - loops), nil
+	}
+}
+
+// --- index / bulk / space ---
+
+// BuildVertexPropIndex implements core.Engine: accepted, but the search
+// path does not change (the paper measured no difference).
+func (e *Engine) BuildVertexPropIndex(name string) error {
+	e.declaredIndexes[name] = true
+	return nil
+}
+
+// HasVertexPropIndex implements core.Engine.
+func (e *Engine) HasVertexPropIndex(name string) bool { return e.declaredIndexes[name] }
+
+// BulkLoad implements core.Engine via the implementation-specific import
+// scripts the paper's suite uses for this engine: documents are written
+// directly, bypassing the REST boundary — which is how ArangoDB ends up
+// the *fastest* loader of the study despite its slow per-item path.
+func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	res := &core.LoadResult{
+		VertexIDs: make([]core.ID, g.NumVertices()),
+		EdgeIDs:   make([]core.ID, g.NumEdges()),
+	}
+	for i := range g.VProps {
+		id := core.ID(e.nextID)
+		e.nextID++
+		e.vdocs[id] = e.encodeVertexDoc(id, g.VProps[i])
+		res.VertexIDs[i] = id
+	}
+	for i := range g.EdgeL {
+		er := &g.EdgeL[i]
+		id := core.ID(e.nextID)
+		e.nextID++
+		src, dst := res.VertexIDs[er.Src], res.VertexIDs[er.Dst]
+		e.edocs[id] = e.encodeEdgeDoc(id, src, dst, er.Label, er.Props)
+		e.edgeIdx[id] = edgeEntry{src: src, dst: dst, label: e.labelTok(er.Label)}
+		e.outIdx[src] = append(e.outIdx[src], id)
+		e.inIdx[dst] = append(e.inIdx[dst], id)
+		res.EdgeIDs[i] = id
+	}
+	return res, nil
+}
+
+// SpaceUsage implements core.Engine.
+func (e *Engine) SpaceUsage() core.SpaceReport {
+	var r core.SpaceReport
+	var vb, eb int64
+	for _, d := range e.vdocs {
+		vb += int64(len(d)) + 16
+	}
+	for _, d := range e.edocs {
+		eb += int64(len(d)) + 16
+	}
+	r.Add("vertex-documents", vb)
+	r.Add("edge-documents", eb)
+	var idx int64 = int64(len(e.edgeIdx)) * 40
+	for _, l := range e.outIdx {
+		idx += int64(len(l))*8 + 16
+	}
+	for _, l := range e.inIdx {
+		idx += int64(len(l))*8 + 16
+	}
+	r.Add("edge-hash-index", idx)
+	return r
+}
+
+// RESTBytes reports the bytes pushed through the simulated REST
+// boundary (for tests and the harness's explain output).
+func (e *Engine) RESTBytes() int64 { return e.restBytes }
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,516 @@
+package blaze
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+)
+
+// Well-known predicate terms.
+var (
+	rdfType      = mkTerm(tagPred, predType)
+	rdfSubject   = mkTerm(tagPred, predSubject)
+	rdfPredicate = mkTerm(tagPred, predPredicate)
+	rdfObject    = mkTerm(tagPred, predObject)
+)
+
+func vertexClassTerm() int64 { return mkTerm(tagLiteral, litVertexClass) }
+
+// --- vertex CRUD ---
+
+// AddVertex implements core.Engine: a type statement plus one statement
+// per property, each hitting all three indexes.
+func (e *Engine) AddVertex(props core.Props) (core.ID, error) {
+	v := mkTerm(tagVertex, e.nextV)
+	e.nextV++
+	e.addStatement(statement{v, rdfType, vertexClassTerm()})
+	for k, val := range props {
+		e.addStatement(statement{v, e.pred(k), e.literal(val)})
+	}
+	return core.ID(v), nil
+}
+
+// HasVertex implements core.Engine.
+func (e *Engine) HasVertex(id core.ID) bool {
+	return termTag(int64(id)) == tagVertex &&
+		e.hasStatement(statement{int64(id), rdfType, vertexClassTerm()})
+}
+
+// VertexProps implements core.Engine: an SPO prefix scan over the
+// vertex's statements.
+func (e *Engine) VertexProps(id core.ID) (core.Props, error) {
+	if !e.HasVertex(id) {
+		return nil, core.ErrNotFound
+	}
+	p := core.Props{}
+	e.forS(int64(id), func(pr, o int64) bool {
+		if pr != rdfType {
+			p[e.predName(pr)] = e.literalValue(o)
+		}
+		return true
+	})
+	if len(p) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// VertexProp implements core.Engine.
+func (e *Engine) VertexProp(id core.ID, name string) (core.Value, bool) {
+	if !e.HasVertex(id) {
+		return core.Nil, false
+	}
+	pr, ok := e.preds[name]
+	if !ok {
+		return core.Nil, false
+	}
+	o, ok := e.firstSP(int64(id), pr)
+	if !ok {
+		return core.Nil, false
+	}
+	return e.literalValue(o), true
+}
+
+// SetVertexProp implements core.Engine: retract + assert.
+func (e *Engine) SetVertexProp(id core.ID, name string, v core.Value) error {
+	if !e.HasVertex(id) {
+		return core.ErrNotFound
+	}
+	pr := e.pred(name)
+	if old, ok := e.firstSP(int64(id), pr); ok {
+		e.removeStatement(statement{int64(id), pr, old})
+	}
+	e.addStatement(statement{int64(id), pr, e.literal(v)})
+	return nil
+}
+
+// RemoveVertexProp implements core.Engine.
+func (e *Engine) RemoveVertexProp(id core.ID, name string) error {
+	if !e.HasVertex(id) {
+		return core.ErrNotFound
+	}
+	if pr, ok := e.preds[name]; ok {
+		if old, ok := e.firstSP(int64(id), pr); ok {
+			e.removeStatement(statement{int64(id), pr, old})
+		}
+	}
+	return nil
+}
+
+// RemoveVertex implements core.Engine: retract the vertex's own
+// statements and cascade to every reified edge that references it.
+func (e *Engine) RemoveVertex(id core.ID) error {
+	if !e.HasVertex(id) {
+		return core.ErrNotFound
+	}
+	v := int64(id)
+	var edges []int64
+	e.forPO(rdfSubject, v, func(s int64) bool { edges = append(edges, s); return true })
+	e.forPO(rdfObject, v, func(s int64) bool { edges = append(edges, s); return true })
+	for _, ed := range edges {
+		if e.isEdgeTerm(ed) {
+			e.removeEdgeStatements(ed)
+		}
+	}
+	var own []statement
+	e.forS(v, func(p, o int64) bool { own = append(own, statement{v, p, o}); return true })
+	for _, st := range own {
+		e.removeStatement(st)
+	}
+	return nil
+}
+
+// --- edge CRUD (reification) ---
+
+func (e *Engine) isEdgeTerm(t int64) bool {
+	if termTag(t) != tagEdge {
+		return false
+	}
+	_, ok := e.firstSP(t, rdfSubject)
+	return ok
+}
+
+// AddEdge implements core.Engine: three reification statements plus one
+// per property — each ×3 indexes, the write amplification behind this
+// engine's slow loading.
+func (e *Engine) AddEdge(src, dst core.ID, label string, props core.Props) (core.ID, error) {
+	if !e.HasVertex(src) || !e.HasVertex(dst) {
+		return core.NoID, core.ErrNotFound
+	}
+	ed := mkTerm(tagEdge, e.nextE)
+	e.nextE++
+	e.addStatement(statement{ed, rdfSubject, int64(src)})
+	e.addStatement(statement{ed, rdfPredicate, e.pred("label:" + label)})
+	e.addStatement(statement{ed, rdfObject, int64(dst)})
+	for k, v := range props {
+		e.addStatement(statement{ed, e.pred(k), e.literal(v)})
+	}
+	return core.ID(ed), nil
+}
+
+// HasEdge implements core.Engine.
+func (e *Engine) HasEdge(id core.ID) bool {
+	if termTag(int64(id)) != tagEdge {
+		return false
+	}
+	_, ok := e.firstSP(int64(id), rdfSubject)
+	return ok
+}
+
+// EdgeLabel implements core.Engine.
+func (e *Engine) EdgeLabel(id core.ID) (string, error) {
+	if !e.HasEdge(id) {
+		return "", core.ErrNotFound
+	}
+	p, ok := e.firstSP(int64(id), rdfPredicate)
+	if !ok {
+		return "", core.ErrNotFound
+	}
+	return e.predName(p)[len("label:"):], nil
+}
+
+// EdgeEnds implements core.Engine: two B+Tree probes (the reification
+// cost of every edge traversal on this engine).
+func (e *Engine) EdgeEnds(id core.ID) (core.ID, core.ID, error) {
+	s, ok := e.firstSP(int64(id), rdfSubject)
+	if !ok {
+		return core.NoID, core.NoID, core.ErrNotFound
+	}
+	o, ok := e.firstSP(int64(id), rdfObject)
+	if !ok {
+		return core.NoID, core.NoID, core.ErrNotFound
+	}
+	return core.ID(s), core.ID(o), nil
+}
+
+// EdgeProps implements core.Engine.
+func (e *Engine) EdgeProps(id core.ID) (core.Props, error) {
+	if !e.HasEdge(id) {
+		return nil, core.ErrNotFound
+	}
+	p := core.Props{}
+	e.forS(int64(id), func(pr, o int64) bool {
+		if pr != rdfSubject && pr != rdfPredicate && pr != rdfObject {
+			p[e.predName(pr)] = e.literalValue(o)
+		}
+		return true
+	})
+	if len(p) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// EdgeProp implements core.Engine.
+func (e *Engine) EdgeProp(id core.ID, name string) (core.Value, bool) {
+	if !e.HasEdge(id) {
+		return core.Nil, false
+	}
+	pr, ok := e.preds[name]
+	if !ok {
+		return core.Nil, false
+	}
+	o, ok := e.firstSP(int64(id), pr)
+	if !ok {
+		return core.Nil, false
+	}
+	return e.literalValue(o), true
+}
+
+// SetEdgeProp implements core.Engine.
+func (e *Engine) SetEdgeProp(id core.ID, name string, v core.Value) error {
+	if !e.HasEdge(id) {
+		return core.ErrNotFound
+	}
+	pr := e.pred(name)
+	if old, ok := e.firstSP(int64(id), pr); ok {
+		e.removeStatement(statement{int64(id), pr, old})
+	}
+	e.addStatement(statement{int64(id), pr, e.literal(v)})
+	return nil
+}
+
+// RemoveEdgeProp implements core.Engine.
+func (e *Engine) RemoveEdgeProp(id core.ID, name string) error {
+	if !e.HasEdge(id) {
+		return core.ErrNotFound
+	}
+	if pr, ok := e.preds[name]; ok {
+		if old, ok := e.firstSP(int64(id), pr); ok {
+			e.removeStatement(statement{int64(id), pr, old})
+		}
+	}
+	return nil
+}
+
+// RemoveEdge implements core.Engine.
+func (e *Engine) RemoveEdge(id core.ID) error {
+	if !e.HasEdge(id) {
+		return core.ErrNotFound
+	}
+	e.removeEdgeStatements(int64(id))
+	return nil
+}
+
+func (e *Engine) removeEdgeStatements(ed int64) {
+	var sts []statement
+	e.forS(ed, func(p, o int64) bool { sts = append(sts, statement{ed, p, o}); return true })
+	for _, st := range sts {
+		e.removeStatement(st)
+	}
+}
+
+// --- scans (per-step graph API execution; see package doc) ---
+
+// CountVertices implements core.Engine.
+func (e *Engine) CountVertices() (int64, error) {
+	var n int64
+	e.forPO(rdfType, vertexClassTerm(), func(int64) bool { n++; return true })
+	return n, nil
+}
+
+// CountEdges implements core.Engine: enumerate reified subjects.
+func (e *Engine) CountEdges() (int64, error) {
+	var n int64
+	e.pos.AscendPrefix(key1(rdfSubject), func(_, _ []byte) bool { n++; return true })
+	return n, nil
+}
+
+// Vertices implements core.Engine.
+func (e *Engine) Vertices() core.Iter[core.ID] {
+	var out []core.ID
+	e.forPO(rdfType, vertexClassTerm(), func(s int64) bool {
+		out = append(out, core.ID(s))
+		return true
+	})
+	return core.SliceIter(out)
+}
+
+// Edges implements core.Engine.
+func (e *Engine) Edges() core.Iter[core.ID] {
+	var out []core.ID
+	e.pos.AscendPrefix(key1(rdfSubject), func(k, _ []byte) bool {
+		_, _, s := decode3(k)
+		out = append(out, core.ID(s))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return core.SliceIter(out)
+}
+
+// VerticesByProp implements core.Engine: iterate all vertices and probe
+// each one's statement (the step-at-a-time Gremlin execution that never
+// reaches the SPARQL optimizer).
+func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
+	pr, okP := e.preds[name]
+	lit, okL := e.lits[v]
+	if !okP || !okL {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Vertices(), func(id core.ID) bool {
+		return e.hasStatement(statement{int64(id), pr, lit})
+	})
+}
+
+// EdgesByProp implements core.Engine.
+func (e *Engine) EdgesByProp(name string, v core.Value) core.Iter[core.ID] {
+	pr, okP := e.preds[name]
+	lit, okL := e.lits[v]
+	if !okP || !okL {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Edges(), func(id core.ID) bool {
+		return e.hasStatement(statement{int64(id), pr, lit})
+	})
+}
+
+// EdgesByLabel implements core.Engine.
+func (e *Engine) EdgesByLabel(label string) core.Iter[core.ID] {
+	pr, ok := e.preds["label:"+label]
+	if !ok {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Edges(), func(id core.ID) bool {
+		return e.hasStatement(statement{int64(id), rdfPredicate, pr})
+	})
+}
+
+// --- traversal ---
+
+// IncidentEdges implements core.Engine: POS probes for the reified
+// statements, then per-edge label probes when a filter is present.
+func (e *Engine) IncidentEdges(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	if !e.HasVertex(id) {
+		return core.EmptyIter[core.ID]()
+	}
+	var want map[int64]bool
+	if len(labels) > 0 {
+		want = make(map[int64]bool, len(labels))
+		for _, l := range labels {
+			if pr, ok := e.preds["label:"+l]; ok {
+				want[pr] = true
+			}
+		}
+		if len(want) == 0 {
+			return core.EmptyIter[core.ID]()
+		}
+	}
+	var out []core.ID
+	add := func(s int64) bool {
+		if want != nil {
+			p, _ := e.firstSP(s, rdfPredicate)
+			if !want[p] {
+				return true
+			}
+		}
+		out = append(out, core.ID(s))
+		return true
+	}
+	v := int64(id)
+	switch d {
+	case core.DirOut:
+		e.forPO(rdfSubject, v, add)
+	case core.DirIn:
+		e.forPO(rdfObject, v, add)
+	default:
+		e.forPO(rdfSubject, v, add)
+		e.forPO(rdfObject, v, func(s int64) bool {
+			// Skip loops: already collected by the subject pass.
+			if sub, _ := e.firstSP(s, rdfSubject); sub == v {
+				return true
+			}
+			return add(s)
+		})
+	}
+	return core.SliceIter(out)
+}
+
+// Neighbors implements core.Engine.
+func (e *Engine) Neighbors(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	inner := e.IncidentEdges(id, d, labels...)
+	return func() (core.ID, bool) {
+		eid, ok := inner()
+		if !ok {
+			return core.NoID, false
+		}
+		s, o, err := e.EdgeEnds(eid)
+		if err != nil {
+			return core.NoID, false
+		}
+		if s != id {
+			return s, true
+		}
+		return o, true
+	}
+}
+
+// Degree implements core.Engine.
+func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
+	if !e.HasVertex(id) {
+		return 0, core.ErrNotFound
+	}
+	return int64(core.Drain(e.IncidentEdges(id, d))), nil
+}
+
+// --- index / bulk / space ---
+
+// BuildVertexPropIndex implements core.Engine: the engine has no
+// user-controlled attribute indexes.
+func (e *Engine) BuildVertexPropIndex(string) error { return core.ErrUnsupported }
+
+// HasVertexPropIndex implements core.Engine.
+func (e *Engine) HasVertexPropIndex(string) bool { return false }
+
+// BulkLoad implements core.Engine through the explicit "bulk loading"
+// option: statements are collected, sorted once per index, and the
+// three B+Trees are bulk-built without per-insert rebalancing.
+func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	res := &core.LoadResult{
+		VertexIDs: make([]core.ID, g.NumVertices()),
+		EdgeIDs:   make([]core.ID, g.NumEdges()),
+	}
+	var sts []statement
+	for i := range g.VProps {
+		v := mkTerm(tagVertex, e.nextV)
+		e.nextV++
+		res.VertexIDs[i] = core.ID(v)
+		sts = append(sts, statement{v, rdfType, vertexClassTerm()})
+		for k, val := range g.VProps[i] {
+			sts = append(sts, statement{v, e.pred(k), e.literal(val)})
+		}
+	}
+	for i := range g.EdgeL {
+		er := &g.EdgeL[i]
+		ed := mkTerm(tagEdge, e.nextE)
+		e.nextE++
+		res.EdgeIDs[i] = core.ID(ed)
+		sts = append(sts,
+			statement{ed, rdfSubject, int64(res.VertexIDs[er.Src])},
+			statement{ed, rdfPredicate, e.pred("label:" + er.Label)},
+			statement{ed, rdfObject, int64(res.VertexIDs[er.Dst])})
+		for k, val := range er.Props {
+			sts = append(sts, statement{ed, e.pred(k), e.literal(val)})
+		}
+	}
+	// Merge with any pre-existing statements (bulk load on a non-empty
+	// store falls back to the incremental path for simplicity).
+	if e.spo.Len() > 0 {
+		for _, st := range sts {
+			e.addStatement(st)
+		}
+		return res, nil
+	}
+	build := func(t *btree.Tree, perm func(statement) []byte) error {
+		keys := make([][]byte, len(sts))
+		for i, st := range sts {
+			keys[i] = perm(st)
+		}
+		sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+		// Dedupe defensively: BulkBuild requires strictly ascending keys.
+		uniq := keys[:0]
+		for i, k := range keys {
+			if i == 0 || !bytes.Equal(k, keys[i-1]) {
+				uniq = append(uniq, k)
+			}
+		}
+		return t.BulkBuild(uniq, make([][]byte, len(uniq)))
+	}
+	if err := build(e.spo, func(st statement) []byte { return key3(st.s, st.p, st.o) }); err != nil {
+		return nil, err
+	}
+	if err := build(e.pos, func(st statement) []byte { return key3(st.p, st.o, st.s) }); err != nil {
+		return nil, err
+	}
+	if err := build(e.osp, func(st statement) []byte { return key3(st.o, st.s, st.p) }); err != nil {
+		return nil, err
+	}
+	e.journalUsed += int64(len(sts)) * 75
+	for e.journalUsed > e.journalCap {
+		e.journalCap += journalSegment
+	}
+	return res, nil
+}
+
+// SpaceUsage implements core.Engine: the pre-allocated journal plus the
+// threefold statement indexes and the term dictionary.
+func (e *Engine) SpaceUsage() core.SpaceReport {
+	var r core.SpaceReport
+	r.Add("journal(preallocated)", e.journalCap)
+	r.Add("spo-index", e.spo.Bytes())
+	r.Add("pos-index", e.pos.Bytes())
+	r.Add("osp-index", e.osp.Bytes())
+	var dict int64
+	for v := range e.lits {
+		dict += v.Bytes() + 24
+	}
+	for _, p := range e.predNames {
+		dict += int64(len(p)) + 24
+	}
+	r.Add("term-dictionary", dict)
+	return r
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,137 @@
+package neo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPropertyChainSurgery exercises removal at the head, middle and
+// tail of long property chains, plus record reuse.
+func TestPropertyChainSurgery(t *testing.T) {
+	for _, v := range []Version{V19, V30} {
+		t.Run(fmt.Sprint("v", v), func(t *testing.T) {
+			e := New(v)
+			defer e.Close()
+			id, _ := e.AddVertex(nil)
+			const n = 20
+			for i := 0; i < n; i++ {
+				e.SetVertexProp(id, fmt.Sprintf("p%02d", i), core.I(int64(i)))
+			}
+			// Remove middle, head (last added = chain head), and tail.
+			for _, name := range []string{"p10", fmt.Sprintf("p%02d", n-1), "p00"} {
+				if err := e.RemoveVertexProp(id, name); err != nil {
+					t.Fatalf("remove %s: %v", name, err)
+				}
+			}
+			props, _ := e.VertexProps(id)
+			if len(props) != n-3 {
+				t.Fatalf("props = %d, want %d", len(props), n-3)
+			}
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("p%02d", i)
+				_, ok := e.VertexProp(id, name)
+				removed := name == "p10" || name == fmt.Sprintf("p%02d", n-1) || name == "p00"
+				if ok == removed {
+					t.Fatalf("%s: ok=%v removed=%v", name, ok, removed)
+				}
+			}
+			// Freed property records must be reused by new properties.
+			live := e.props.Live()
+			e.SetVertexProp(id, "fresh1", core.I(1))
+			e.SetVertexProp(id, "fresh2", core.I(2))
+			if e.props.Live() != live+2 {
+				t.Fatalf("prop records live = %d, want %d", e.props.Live(), live+2)
+			}
+			if e.props.HighWater() != int64(n) {
+				t.Fatalf("high water = %d, want %d (reuse expected)", e.props.HighWater(), n)
+			}
+		})
+	}
+}
+
+// TestChainStressRandomEdgeChurn hammers the doubly-linked relationship
+// chains with random insertions and deletions, checking the chain view
+// against a reference set after every batch.
+func TestChainStressRandomEdgeChurn(t *testing.T) {
+	for _, v := range []Version{V19, V30} {
+		t.Run(fmt.Sprint("v", v), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			e := New(v)
+			defer e.Close()
+			const nv = 12
+			var vs []core.ID
+			for i := 0; i < nv; i++ {
+				id, _ := e.AddVertex(nil)
+				vs = append(vs, id)
+			}
+			type edge struct {
+				id       core.ID
+				src, dst int
+			}
+			var live []edge
+			labels := []string{"x", "y"}
+			for round := 0; round < 60; round++ {
+				if rng.Intn(3) != 0 || len(live) == 0 {
+					s, d := rng.Intn(nv), rng.Intn(nv)
+					id, err := e.AddEdge(vs[s], vs[d], labels[rng.Intn(2)], nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, edge{id, s, d})
+				} else {
+					k := rng.Intn(len(live))
+					if err := e.RemoveEdge(live[k].id); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:k], live[k+1:]...)
+				}
+				// Verify per-vertex incident sets.
+				for vi, vid := range vs {
+					want := map[core.ID]bool{}
+					for _, ed := range live {
+						if ed.src == vi || ed.dst == vi {
+							want[ed.id] = true
+						}
+					}
+					got := map[core.ID]bool{}
+					it := e.IncidentEdges(vid, core.DirBoth)
+					for id, ok := it(); ok; id, ok = it() {
+						if got[id] {
+							t.Fatalf("round %d: duplicate edge %d at vertex %d", round, id, vi)
+						}
+						got[id] = true
+					}
+					if len(got) != len(want) {
+						t.Fatalf("round %d: vertex %d sees %d edges, want %d", round, vi, len(got), len(want))
+					}
+					for id := range want {
+						if !got[id] {
+							t.Fatalf("round %d: vertex %d missing edge %d", round, vi, id)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRelationshipRecordReuse verifies freed relationship records go
+// back to the store freelist (ID = offset reuse).
+func TestRelationshipRecordReuse(t *testing.T) {
+	e := New(V19)
+	defer e.Close()
+	a, _ := e.AddVertex(nil)
+	b, _ := e.AddVertex(nil)
+	e1, _ := e.AddEdge(a, b, "l", nil)
+	e.RemoveEdge(e1)
+	e2, _ := e.AddEdge(b, a, "l2", nil)
+	if e2 != e1 {
+		t.Fatalf("freed relationship record not reused: %d then %d", e1, e2)
+	}
+	if l, _ := e.EdgeLabel(e2); l != "l2" {
+		t.Fatalf("label after reuse = %q", l)
+	}
+}

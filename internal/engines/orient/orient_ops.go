@@ -1,0 +1,553 @@
+package orient
+
+import (
+	"repro/internal/core"
+)
+
+// --- vertex CRUD ---
+
+// AddVertex implements core.Engine: appending a document, the fast path
+// Figure 3(b) shows.
+func (e *Engine) AddVertex(props core.Props) (core.ID, error) {
+	d := &vertexDoc{props: props.Clone()}
+	pos := e.vcluster.add(e.encodeVertex(d))
+	id := makeRID(vertexCluster, pos)
+	for k, v := range props {
+		e.indexAdd(k, v, id)
+	}
+	return id, nil
+}
+
+// HasVertex implements core.Engine.
+func (e *Engine) HasVertex(id core.ID) bool {
+	c, pos := splitRID(id)
+	if c != vertexCluster {
+		return false
+	}
+	_, ok := e.vcluster.pmap.Get(pos)
+	return ok
+}
+
+// VertexProps implements core.Engine.
+func (e *Engine) VertexProps(id core.ID) (core.Props, error) {
+	d, ok := e.readVertex(id)
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return d.props, nil
+}
+
+// VertexProp implements core.Engine.
+func (e *Engine) VertexProp(id core.ID, name string) (core.Value, bool) {
+	d, ok := e.readVertex(id)
+	if !ok {
+		return core.Nil, false
+	}
+	v, ok := d.props[name]
+	return v, ok
+}
+
+// rewriteVertex re-encodes and relocates the document.
+func (e *Engine) rewriteVertex(id core.ID, d *vertexDoc) {
+	_, pos := splitRID(id)
+	e.vcluster.rewrite(pos, e.encodeVertex(d))
+}
+
+// SetVertexProp implements core.Engine: document rewrite at the tail.
+func (e *Engine) SetVertexProp(id core.ID, name string, v core.Value) error {
+	d, ok := e.readVertex(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	if old, had := d.props[name]; had {
+		e.indexRemove(name, old, id)
+	}
+	if d.props == nil {
+		d.props = core.Props{}
+	}
+	d.props[name] = v
+	e.indexAdd(name, v, id)
+	e.rewriteVertex(id, d)
+	return nil
+}
+
+// RemoveVertexProp implements core.Engine.
+func (e *Engine) RemoveVertexProp(id core.ID, name string) error {
+	d, ok := e.readVertex(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	if old, had := d.props[name]; had {
+		e.indexRemove(name, old, id)
+		delete(d.props, name)
+		e.rewriteVertex(id, d)
+	}
+	return nil
+}
+
+// RemoveVertex implements core.Engine; cascading is document surgery on
+// every adjacent vertex, which is why Figure 3(c) shows this engine's
+// node removal degrading with graph structure.
+func (e *Engine) RemoveVertex(id core.ID) error {
+	d, ok := e.readVertex(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	for _, eid := range append(append([]core.ID(nil), d.out...), d.in...) {
+		if e.HasEdge(eid) {
+			if err := e.RemoveEdge(eid); err != nil {
+				return err
+			}
+		}
+	}
+	// Re-read: RemoveEdge rewrote this vertex's lists.
+	for name := range e.vindexes {
+		if v, had := d.props[name]; had {
+			e.indexRemove(name, v, id)
+		}
+	}
+	_, pos := splitRID(id)
+	e.vcluster.free(pos)
+	return nil
+}
+
+// --- edge CRUD ---
+
+// AddEdge implements core.Engine: one append in the label's cluster plus
+// a rewrite of both endpoint documents.
+func (e *Engine) AddEdge(src, dst core.ID, label string, props core.Props) (core.ID, error) {
+	sd, ok := e.readVertex(src)
+	if !ok {
+		return core.NoID, core.ErrNotFound
+	}
+	dd, ok := e.readVertex(dst)
+	if !ok {
+		return core.NoID, core.ErrNotFound
+	}
+	cid := e.clusterFor(label)
+	pos := e.eclusters[cid-1].add(e.encodeEdge(&edgeDoc{src: src, dst: dst, props: props.Clone()}))
+	eid := makeRID(cid, pos)
+	if src == dst {
+		sd.out = append(sd.out, eid)
+		sd.in = append(sd.in, eid)
+		e.rewriteVertex(src, sd)
+		return eid, nil
+	}
+	sd.out = append(sd.out, eid)
+	e.rewriteVertex(src, sd)
+	dd.in = append(dd.in, eid)
+	e.rewriteVertex(dst, dd)
+	return eid, nil
+}
+
+// HasEdge implements core.Engine.
+func (e *Engine) HasEdge(id core.ID) bool {
+	c, pos, ok := e.edgeCluster(id)
+	if !ok {
+		return false
+	}
+	_, ok = c.pmap.Get(pos)
+	return ok
+}
+
+// EdgeLabel implements core.Engine: the label is the cluster identity.
+func (e *Engine) EdgeLabel(id core.ID) (string, error) {
+	if !e.HasEdge(id) {
+		return "", core.ErrNotFound
+	}
+	c, _ := splitRID(id)
+	return e.labels[c-1], nil
+}
+
+// EdgeEnds implements core.Engine.
+func (e *Engine) EdgeEnds(id core.ID) (core.ID, core.ID, error) {
+	c, pos, ok := e.edgeCluster(id)
+	if !ok {
+		return core.NoID, core.NoID, core.ErrNotFound
+	}
+	doc, ok := c.read(pos)
+	if !ok {
+		return core.NoID, core.NoID, core.ErrNotFound
+	}
+	src, dst := edgeEndsFast(doc)
+	return src, dst, nil
+}
+
+// EdgeProps implements core.Engine.
+func (e *Engine) EdgeProps(id core.ID) (core.Props, error) {
+	d, ok := e.readEdge(id)
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return d.props, nil
+}
+
+// EdgeProp implements core.Engine.
+func (e *Engine) EdgeProp(id core.ID, name string) (core.Value, bool) {
+	d, ok := e.readEdge(id)
+	if !ok {
+		return core.Nil, false
+	}
+	v, ok := d.props[name]
+	return v, ok
+}
+
+// SetEdgeProp implements core.Engine.
+func (e *Engine) SetEdgeProp(id core.ID, name string, v core.Value) error {
+	d, ok := e.readEdge(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	if d.props == nil {
+		d.props = core.Props{}
+	}
+	d.props[name] = v
+	c, pos, _ := e.edgeCluster(id)
+	c.rewrite(pos, e.encodeEdge(d))
+	return nil
+}
+
+// RemoveEdgeProp implements core.Engine.
+func (e *Engine) RemoveEdgeProp(id core.ID, name string) error {
+	d, ok := e.readEdge(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	if _, had := d.props[name]; had {
+		delete(d.props, name)
+		c, pos, _ := e.edgeCluster(id)
+		c.rewrite(pos, e.encodeEdge(d))
+	}
+	return nil
+}
+
+// RemoveEdge implements core.Engine.
+func (e *Engine) RemoveEdge(id core.ID) error {
+	d, ok := e.readEdge(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	if sd, ok := e.readVertex(d.src); ok {
+		sd.out = removeRID(sd.out, id)
+		if d.src == d.dst {
+			sd.in = removeRID(sd.in, id)
+		}
+		e.rewriteVertex(d.src, sd)
+	}
+	if d.dst != d.src {
+		if dd, ok := e.readVertex(d.dst); ok {
+			dd.in = removeRID(dd.in, id)
+			e.rewriteVertex(d.dst, dd)
+		}
+	}
+	c, pos, _ := e.edgeCluster(id)
+	c.free(pos)
+	return nil
+}
+
+func removeRID(rids []core.ID, id core.ID) []core.ID {
+	for i, r := range rids {
+		if r == id {
+			return append(rids[:i], rids[i+1:]...)
+		}
+	}
+	return rids
+}
+
+// --- scans ---
+
+// CountVertices implements core.Engine.
+func (e *Engine) CountVertices() (int64, error) {
+	n := int64(0)
+	e.vcluster.pmap.ScanLive(func(int64) bool { n++; return true })
+	return n, nil
+}
+
+// CountEdges implements core.Engine.
+func (e *Engine) CountEdges() (int64, error) {
+	n := int64(0)
+	for _, c := range e.eclusters {
+		c.pmap.ScanLive(func(int64) bool { n++; return true })
+	}
+	return n, nil
+}
+
+// Vertices implements core.Engine.
+func (e *Engine) Vertices() core.Iter[core.ID] {
+	var pos int64
+	end := e.vcluster.pmap.Len()
+	return func() (core.ID, bool) {
+		for pos < end {
+			p := pos
+			pos++
+			if _, ok := e.vcluster.pmap.Get(p); ok {
+				return makeRID(vertexCluster, p), true
+			}
+		}
+		return core.NoID, false
+	}
+}
+
+// Edges implements core.Engine: concatenation of the per-label clusters.
+func (e *Engine) Edges() core.Iter[core.ID] {
+	ci := 0
+	var pos int64
+	return func() (core.ID, bool) {
+		for ci < len(e.eclusters) {
+			c := e.eclusters[ci]
+			for pos < c.pmap.Len() {
+				p := pos
+				pos++
+				if _, ok := c.pmap.Get(p); ok {
+					return makeRID(ci+1, p), true
+				}
+			}
+			ci++
+			pos = 0
+		}
+		return core.NoID, false
+	}
+}
+
+// VerticesByProp implements core.Engine.
+func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
+	if idx, ok := e.vindexes[name]; ok {
+		set := idx[v]
+		out := make([]core.ID, 0, len(set))
+		for id := range set {
+			out = append(out, id)
+		}
+		return core.SliceIter(out)
+	}
+	return core.FilterIter(e.Vertices(), func(id core.ID) bool {
+		got, ok := e.VertexProp(id, name)
+		return ok && got.Compare(v) == 0
+	})
+}
+
+// EdgesByProp implements core.Engine.
+func (e *Engine) EdgesByProp(name string, v core.Value) core.Iter[core.ID] {
+	return core.FilterIter(e.Edges(), func(id core.ID) bool {
+		got, ok := e.EdgeProp(id, name)
+		return ok && got.Compare(v) == 0
+	})
+}
+
+// EdgesByLabel implements core.Engine. The per-label clusters could
+// serve this in O(result), but — as the paper observes — the Gremlin
+// adapter iterates all edges and filters, so that is what is modelled.
+func (e *Engine) EdgesByLabel(label string) core.Iter[core.ID] {
+	want, ok := e.labelOf[label]
+	if !ok {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Edges(), func(id core.ID) bool {
+		c, _ := splitRID(id)
+		return c == want
+	})
+}
+
+// --- traversal ---
+
+// IncidentEdges implements core.Engine. Label filtering is free: the
+// label is encoded in the RID's cluster, so non-matching edges are
+// skipped without reading them.
+func (e *Engine) IncidentEdges(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	vd, ok := e.readVertex(id)
+	if !ok {
+		return core.EmptyIter[core.ID]()
+	}
+	want := map[int]bool{}
+	for _, l := range labels {
+		if c, ok := e.labelOf[l]; ok {
+			want[c] = true
+		}
+	}
+	if len(labels) > 0 && len(want) == 0 {
+		return core.EmptyIter[core.ID]()
+	}
+	match := func(eid core.ID) bool {
+		if len(want) == 0 {
+			return true
+		}
+		c, _ := splitRID(eid)
+		return want[c]
+	}
+	var list []core.ID
+	switch d {
+	case core.DirOut:
+		list = vd.out
+	case core.DirIn:
+		list = vd.in
+	case core.DirBoth:
+		list = append(append([]core.ID(nil), vd.out...), vd.in...)
+	}
+	inStart := len(vd.out)
+	if d != core.DirBoth {
+		inStart = -1
+	}
+	i := 0
+	return func() (core.ID, bool) {
+		for i < len(list) {
+			eid := list[i]
+			fromIn := inStart >= 0 && i >= inStart
+			i++
+			if !match(eid) {
+				continue
+			}
+			if fromIn {
+				// In the Both walk, skip loops on the in-list pass: the
+				// out-list already reported them.
+				if ed, ok := e.readEdge(eid); ok && ed.src == ed.dst {
+					continue
+				}
+			}
+			return eid, true
+		}
+		return core.NoID, false
+	}
+}
+
+// Neighbors implements core.Engine.
+func (e *Engine) Neighbors(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	inner := e.IncidentEdges(id, d, labels...)
+	return func() (core.ID, bool) {
+		eid, ok := inner()
+		if !ok {
+			return core.NoID, false
+		}
+		src, dst, err := e.EdgeEnds(eid)
+		if err != nil {
+			return core.NoID, false
+		}
+		if src != id {
+			return src, true
+		}
+		return dst, true
+	}
+}
+
+// Degree implements core.Engine: list lengths from the vertex document,
+// with loops deduplicated.
+func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
+	vd, ok := e.readVertex(id)
+	if !ok {
+		return 0, core.ErrNotFound
+	}
+	switch d {
+	case core.DirOut:
+		return int64(len(vd.out)), nil
+	case core.DirIn:
+		return int64(len(vd.in)), nil
+	default:
+		loops := 0
+		for _, eid := range vd.in {
+			if ed, ok := e.readEdge(eid); ok && ed.src == ed.dst {
+				loops++
+			}
+		}
+		return int64(len(vd.out) + len(vd.in) - loops), nil
+	}
+}
+
+// --- index / bulk / lifecycle ---
+
+// BuildVertexPropIndex implements core.Engine.
+func (e *Engine) BuildVertexPropIndex(name string) error {
+	if _, dup := e.vindexes[name]; dup {
+		return nil
+	}
+	e.vindexes[name] = make(map[core.Value]map[core.ID]struct{})
+	it := e.Vertices()
+	for id, ok := it(); ok; id, ok = it() {
+		if v, has := e.VertexProp(id, name); has {
+			e.indexAdd(name, v, id)
+		}
+	}
+	return nil
+}
+
+// HasVertexPropIndex implements core.Engine.
+func (e *Engine) HasVertexPropIndex(name string) bool {
+	_, ok := e.vindexes[name]
+	return ok
+}
+
+// BulkLoad implements core.Engine through the implementation-specific
+// script path the paper had to use (the Gremlin path performed per-edge
+// bookkeeping per label): edge documents are written first, then each
+// vertex document exactly once with its full RID lists.
+func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	res := &core.LoadResult{
+		VertexIDs: make([]core.ID, g.NumVertices()),
+		EdgeIDs:   make([]core.ID, g.NumEdges()),
+	}
+	// Vertex RIDs are dense positions assigned in order.
+	base := e.vcluster.pmap.Len()
+	for i := range res.VertexIDs {
+		res.VertexIDs[i] = makeRID(vertexCluster, base+int64(i))
+	}
+	outs := make([][]core.ID, g.NumVertices())
+	ins := make([][]core.ID, g.NumVertices())
+	for i := range g.EdgeL {
+		er := &g.EdgeL[i]
+		cid := e.clusterFor(er.Label)
+		pos := e.eclusters[cid-1].add(e.encodeEdge(&edgeDoc{
+			src:   res.VertexIDs[er.Src],
+			dst:   res.VertexIDs[er.Dst],
+			props: er.Props,
+		}))
+		eid := makeRID(cid, pos)
+		res.EdgeIDs[i] = eid
+		outs[er.Src] = append(outs[er.Src], eid)
+		ins[er.Dst] = append(ins[er.Dst], eid)
+	}
+	for i := range g.VProps {
+		pos := e.vcluster.add(e.encodeVertex(&vertexDoc{
+			out:   outs[i],
+			in:    ins[i],
+			props: g.VProps[i],
+		}))
+		if got := makeRID(vertexCluster, pos); got != res.VertexIDs[i] {
+			return nil, errRIDMismatch
+		}
+	}
+	return res, nil
+}
+
+var errRIDMismatch = ridErr("orient: bulk load RID assignment out of sync")
+
+type ridErr string
+
+func (e ridErr) Error() string { return string(e) }
+
+// SpaceUsage implements core.Engine.
+func (e *Engine) SpaceUsage() core.SpaceReport {
+	var r core.SpaceReport
+	r.Add("vertex-cluster", e.vcluster.bytes())
+	var eb int64
+	for _, c := range e.eclusters {
+		eb += c.bytes() + 96 // per-cluster file overhead
+	}
+	r.Add("edge-clusters", eb)
+	var idx int64
+	for _, m := range e.vindexes {
+		idx += 48
+		for v, set := range m {
+			idx += v.Bytes() + int64(len(set))*16
+		}
+	}
+	r.Add("sbtree-indexes", idx)
+	var tok int64
+	for _, k := range e.keyNames {
+		tok += int64(len(k)) + 24
+	}
+	for _, l := range e.labels {
+		tok += int64(len(l)) + 24
+	}
+	r.Add("schema", tok)
+	return r
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,74 @@
+// Package engines registers the nine graph database configurations of
+// the study (Table 1) under stable names, so the harness, the CLI tools
+// and the benchmarks address them uniformly.
+package engines
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engines/arango"
+	"repro/internal/engines/blaze"
+	"repro/internal/engines/neo"
+	"repro/internal/engines/orient"
+	"repro/internal/engines/sparksee"
+	"repro/internal/engines/sqlg"
+	"repro/internal/engines/titan"
+)
+
+// Names of the registered configurations, in the paper's listing order.
+var names = []string{
+	"arango",
+	"blaze",
+	"neo-1.9",
+	"neo-3.0",
+	"orient",
+	"sparksee",
+	"sqlg",
+	"titan-0.5",
+	"titan-1.0",
+}
+
+var registry = map[string]core.Constructor{
+	"arango":    func() core.Engine { return arango.New() },
+	"blaze":     func() core.Engine { return blaze.New() },
+	"neo-1.9":   func() core.Engine { return neo.New(neo.V19) },
+	"neo-3.0":   func() core.Engine { return neo.New(neo.V30) },
+	"orient":    func() core.Engine { return orient.New() },
+	"sparksee":  func() core.Engine { return sparksee.New() },
+	"sqlg":      func() core.Engine { return sqlg.New() },
+	"titan-0.5": func() core.Engine { return titan.New(titan.V05) },
+	"titan-1.0": func() core.Engine { return titan.New(titan.V10) },
+}
+
+// Names returns the registered configuration names in listing order.
+func Names() []string { return append([]string(nil), names...) }
+
+// New builds a fresh engine by name.
+func New(name string) (core.Engine, error) {
+	c, ok := registry[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("engines: unknown engine %q (known: %v)", name, known)
+	}
+	return c(), nil
+}
+
+// Constructor returns the named constructor, or nil.
+func Constructor(name string) core.Constructor { return registry[name] }
+
+// ForEach calls fn with a fresh instance of every registered engine,
+// closing each afterwards. It stops at the first error.
+func ForEach(fn func(e core.Engine) error) error {
+	for _, n := range names {
+		e := registry[n]()
+		err := fn(e)
+		e.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+	}
+	return nil
+}

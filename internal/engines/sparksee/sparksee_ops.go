@@ -1,0 +1,252 @@
+package sparksee
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/core"
+)
+
+// --- scans ---
+
+// CountVertices implements core.Engine: a container popcount, the
+// operation where the paper found Sparksee fastest.
+func (e *Engine) CountVertices() (int64, error) { return int64(e.nodes.Len()), nil }
+
+// CountEdges implements core.Engine.
+func (e *Engine) CountEdges() (int64, error) { return int64(e.edges.Len()), nil }
+
+func bitmapIter(b *bitmap.Bitmap) core.Iter[core.ID] {
+	// Materialize the OIDs: bitmap iteration is callback-based, and the
+	// modelled adapter materializes scans anyway.
+	return core.SliceIter(idsOf(b))
+}
+
+func idsOf(b *bitmap.Bitmap) []core.ID {
+	out := make([]core.ID, 0, b.Len())
+	b.Iterate(func(x uint64) bool { out = append(out, core.ID(x)); return true })
+	return out
+}
+
+// Vertices implements core.Engine. Starting a fresh full-graph scan
+// resets the Gremlin adapter's retention accounting (each traversal
+// carries its own intermediates).
+func (e *Engine) Vertices() core.Iter[core.ID] {
+	e.retained = 0
+	return bitmapIter(e.nodes)
+}
+
+// Edges implements core.Engine.
+func (e *Engine) Edges() core.Iter[core.ID] {
+	e.retained = 0
+	return bitmapIter(e.edges)
+}
+
+// VerticesByProp implements core.Engine. The value→bitmap structure
+// could answer this directly, but the paper measured scans (the adapter
+// does not exploit it, and declared user indexes bring "no improvement"
+// for this engine), so a scan with per-object value lookups is modelled.
+func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
+	a := e.vattrs[name]
+	if a == nil {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Vertices(), func(id core.ID) bool {
+		got, ok := a.vals[uint64(id)]
+		return ok && got.Compare(v) == 0
+	})
+}
+
+// EdgesByProp implements core.Engine.
+func (e *Engine) EdgesByProp(name string, v core.Value) core.Iter[core.ID] {
+	a := e.eattrs[name]
+	if a == nil {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Edges(), func(id core.ID) bool {
+		got, ok := a.vals[uint64(id)]
+		return ok && got.Compare(v) == 0
+	})
+}
+
+// EdgesByLabel implements core.Engine (scan + token compare; see
+// VerticesByProp for why the label bitmap is not consulted).
+func (e *Engine) EdgesByLabel(label string) core.Iter[core.ID] {
+	tok, ok := e.labelID[label]
+	if !ok {
+		return core.EmptyIter[core.ID]()
+	}
+	return core.FilterIter(e.Edges(), func(id core.ID) bool {
+		return e.labelOf[uint64(id)] == tok
+	})
+}
+
+// --- traversal ---
+
+// IncidentEdges implements core.Engine. Label filters are bitmap
+// intersections — the one local operation where the paper found
+// Sparksee on par with the fastest engines.
+func (e *Engine) IncidentEdges(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	if !e.HasVertex(id) {
+		return core.EmptyIter[core.ID]()
+	}
+	oid := uint64(id)
+	pick := func(b *bitmap.Bitmap) *bitmap.Bitmap {
+		if b == nil {
+			return bitmap.New()
+		}
+		if len(labels) == 0 {
+			return b
+		}
+		acc := bitmap.New()
+		for _, l := range labels {
+			if tok, ok := e.labelID[l]; ok {
+				acc = acc.Or(b.And(e.byLabel[tok]))
+			}
+		}
+		return acc
+	}
+	switch d {
+	case core.DirOut:
+		return bitmapIter(pick(e.out[oid]))
+	case core.DirIn:
+		return bitmapIter(pick(e.in[oid]))
+	default:
+		// Union dedupes loops (an OID is a set member once).
+		return bitmapIter(pick(e.out[oid]).Or(pick(e.in[oid])))
+	}
+}
+
+// Neighbors implements core.Engine.
+func (e *Engine) Neighbors(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	inner := e.IncidentEdges(id, d, labels...)
+	return func() (core.ID, bool) {
+		eid, ok := inner()
+		if !ok {
+			return core.NoID, false
+		}
+		src := core.ID(e.srcOf[uint64(eid)])
+		if src != id {
+			return src, true
+		}
+		return core.ID(e.dstOf[uint64(eid)]), true
+	}
+}
+
+// Degree implements core.Engine through the modelled Gremlin adapter:
+// the adapter walks the per-label edge bitmaps and retains a decoded
+// intermediate per label per call, so graphs with many labels and many
+// nodes exhaust the budget mid-scan (the paper's Q28–Q31 failure on all
+// Freebase samples). The retention counter is reset by Vertices()/
+// Edges(), i.e. per full-graph traversal.
+func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
+	if !e.HasVertex(id) {
+		return 0, core.ErrNotFound
+	}
+	oid := uint64(id)
+	count := func(b *bitmap.Bitmap) int64 {
+		if b == nil {
+			return 0
+		}
+		var n int64
+		for _, lb := range e.byLabel {
+			hits := b.AndLen(lb)
+			n += int64(hits)
+			e.retained += 40 + int64(hits)*16
+		}
+		return n
+	}
+	var deg int64
+	switch d {
+	case core.DirOut:
+		deg = count(e.out[oid])
+	case core.DirIn:
+		deg = count(e.in[oid])
+	default:
+		ob, ib := e.out[oid], e.in[oid]
+		switch {
+		case ob != nil && ib != nil:
+			both := ob.Or(ib)
+			e.retained += both.Bytes()
+			deg = count(both)
+		case ob != nil:
+			deg = count(ob)
+		case ib != nil:
+			deg = count(ib)
+		}
+	}
+	if e.retained > e.memBudget {
+		return 0, core.ErrOutOfMemory
+	}
+	return deg, nil
+}
+
+// --- index / bulk / space ---
+
+// BuildVertexPropIndex implements core.Engine. The declaration is
+// accepted but — matching the paper's measurement — brings no change in
+// the search path.
+func (e *Engine) BuildVertexPropIndex(name string) error {
+	e.declaredIndexes[name] = true
+	return nil
+}
+
+// HasVertexPropIndex implements core.Engine.
+func (e *Engine) HasVertexPropIndex(name string) bool { return e.declaredIndexes[name] }
+
+// BulkLoad implements core.Engine (the engine's Gremlin load path was
+// unproblematic in the paper, so this is a plain loop).
+func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	res := &core.LoadResult{
+		VertexIDs: make([]core.ID, g.NumVertices()),
+		EdgeIDs:   make([]core.ID, g.NumEdges()),
+	}
+	for i := range g.VProps {
+		id, err := e.AddVertex(g.VProps[i])
+		if err != nil {
+			return nil, err
+		}
+		res.VertexIDs[i] = id
+	}
+	for i := range g.EdgeL {
+		er := &g.EdgeL[i]
+		id, err := e.AddEdge(res.VertexIDs[er.Src], res.VertexIDs[er.Dst], er.Label, er.Props)
+		if err != nil {
+			return nil, err
+		}
+		res.EdgeIDs[i] = id
+	}
+	return res, nil
+}
+
+// SpaceUsage implements core.Engine.
+func (e *Engine) SpaceUsage() core.SpaceReport {
+	var r core.SpaceReport
+	r.Add("object-bitmaps", e.nodes.Bytes()+e.edges.Bytes())
+	var lb int64
+	for _, b := range e.byLabel {
+		lb += b.Bytes()
+	}
+	for _, l := range e.labels {
+		lb += int64(len(l)) + 24
+	}
+	r.Add("label-bitmaps", lb+int64(len(e.labelOf))*12)
+	var adj int64
+	for _, b := range e.out {
+		adj += b.Bytes() + 16
+	}
+	for _, b := range e.in {
+		adj += b.Bytes() + 16
+	}
+	r.Add("relationship-bitmaps", adj+int64(len(e.srcOf)+len(e.dstOf))*16)
+	var at int64
+	for name, a := range e.vattrs {
+		at += int64(len(name)) + a.bytes()
+	}
+	for name, a := range e.eattrs {
+		at += int64(len(name)) + a.bytes()
+	}
+	r.Add("attribute-maps", at)
+	return r
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,489 @@
+package sqlg
+
+import (
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// --- vertex CRUD ---
+
+// AddVertex implements core.Engine: a tuple insert, plus ALTER TABLE for
+// any property name the schema has not seen.
+func (e *Engine) AddVertex(props core.Props) (core.ID, error) {
+	for k := range props {
+		ensureColumn(e.vtab, k)
+	}
+	id := e.nextVertex
+	e.nextVertex++
+	cols := e.vtab.Columns()
+	row := make(rel.Row, len(cols))
+	row[0] = core.I(id)
+	for i := 1; i < len(cols); i++ {
+		if v, ok := props[cols[i]]; ok {
+			row[i] = v
+		}
+	}
+	if err := e.vtab.Insert(row); err != nil {
+		return core.NoID, err
+	}
+	return core.ID(id), nil
+}
+
+// HasVertex implements core.Engine.
+func (e *Engine) HasVertex(id core.ID) bool {
+	if _, isEdge := splitEdgeID(id); isEdge || id < 0 {
+		return false
+	}
+	_, ok := e.vtab.Get(int64(id))
+	return ok
+}
+
+// VertexProps implements core.Engine.
+func (e *Engine) VertexProps(id core.ID) (core.Props, error) {
+	if _, isEdge := splitEdgeID(id); isEdge {
+		return nil, core.ErrNotFound
+	}
+	r, ok := e.vtab.Get(int64(id))
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return rowToProps(e.vtab, r, 1), nil
+}
+
+// VertexProp implements core.Engine.
+func (e *Engine) VertexProp(id core.ID, name string) (core.Value, bool) {
+	if _, isEdge := splitEdgeID(id); isEdge {
+		return core.Nil, false
+	}
+	v, ok := e.vtab.Value(int64(id), name)
+	if !ok || v.IsNil() {
+		return core.Nil, false
+	}
+	return v, true
+}
+
+// SetVertexProp implements core.Engine.
+func (e *Engine) SetVertexProp(id core.ID, name string, v core.Value) error {
+	if !e.HasVertex(id) {
+		return core.ErrNotFound
+	}
+	ensureColumn(e.vtab, name)
+	return e.vtab.Update(int64(id), name, v)
+}
+
+// RemoveVertexProp implements core.Engine: SET NULL.
+func (e *Engine) RemoveVertexProp(id core.ID, name string) error {
+	if !e.HasVertex(id) {
+		return core.ErrNotFound
+	}
+	if !e.vtab.HasColumn(name) {
+		return nil
+	}
+	return e.vtab.Update(int64(id), name, core.Nil)
+}
+
+// RemoveVertex implements core.Engine: cascading deletes through the
+// src/dst foreign-key indexes of every edge table.
+func (e *Engine) RemoveVertex(id core.ID) error {
+	if !e.HasVertex(id) {
+		return core.ErrNotFound
+	}
+	key := core.I(int64(id))
+	for _, t := range e.etabs {
+		var doomed []int64
+		t.SelectEq("src", key, func(r rel.Row) bool {
+			doomed = append(doomed, r[0].Int())
+			return true
+		})
+		t.SelectEq("dst", key, func(r rel.Row) bool {
+			doomed = append(doomed, r[0].Int())
+			return true
+		})
+		for _, eid := range doomed {
+			// A loop edge is collected twice; the second delete is a no-op.
+			if _, ok := t.Get(eid); ok {
+				if err := t.Delete(eid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return e.vtab.Delete(int64(id))
+}
+
+// --- edge CRUD ---
+
+// AddEdge implements core.Engine: an insert into the label's join table.
+func (e *Engine) AddEdge(src, dst core.ID, label string, props core.Props) (core.ID, error) {
+	if !e.HasVertex(src) || !e.HasVertex(dst) {
+		return core.NoID, core.ErrNotFound
+	}
+	t, ti := e.edgeTable(label)
+	for k := range props {
+		ensureColumn(t, k)
+	}
+	id := makeEdgeID(ti, e.nextEdge)
+	e.nextEdge++
+	cols := t.Columns()
+	row := make(rel.Row, len(cols))
+	row[0] = core.I(int64(id))
+	row[1] = core.I(int64(src))
+	row[2] = core.I(int64(dst))
+	for i := 3; i < len(cols); i++ {
+		if v, ok := props[cols[i]]; ok {
+			row[i] = v
+		}
+	}
+	if err := t.Insert(row); err != nil {
+		return core.NoID, err
+	}
+	return id, nil
+}
+
+func (e *Engine) edgeRow(id core.ID) (*rel.Table, rel.Row, bool) {
+	ti, isEdge := splitEdgeID(id)
+	if !isEdge || ti >= len(e.etabs) {
+		return nil, nil, false
+	}
+	r, ok := e.etabs[ti].Get(int64(id))
+	if !ok {
+		return nil, nil, false
+	}
+	return e.etabs[ti], r, true
+}
+
+// HasEdge implements core.Engine.
+func (e *Engine) HasEdge(id core.ID) bool {
+	_, _, ok := e.edgeRow(id)
+	return ok
+}
+
+// EdgeLabel implements core.Engine: the label is the table.
+func (e *Engine) EdgeLabel(id core.ID) (string, error) {
+	ti, isEdge := splitEdgeID(id)
+	if !isEdge || ti >= len(e.etabs) {
+		return "", core.ErrNotFound
+	}
+	if _, ok := e.etabs[ti].Get(int64(id)); !ok {
+		return "", core.ErrNotFound
+	}
+	return e.labels[ti], nil
+}
+
+// EdgeEnds implements core.Engine.
+func (e *Engine) EdgeEnds(id core.ID) (core.ID, core.ID, error) {
+	_, r, ok := e.edgeRow(id)
+	if !ok {
+		return core.NoID, core.NoID, core.ErrNotFound
+	}
+	return core.ID(r[1].Int()), core.ID(r[2].Int()), nil
+}
+
+// EdgeProps implements core.Engine.
+func (e *Engine) EdgeProps(id core.ID) (core.Props, error) {
+	t, r, ok := e.edgeRow(id)
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return rowToProps(t, r, 3), nil
+}
+
+// EdgeProp implements core.Engine.
+func (e *Engine) EdgeProp(id core.ID, name string) (core.Value, bool) {
+	t, _, ok := e.edgeRow(id)
+	if !ok {
+		return core.Nil, false
+	}
+	v, ok := t.Value(int64(id), name)
+	if !ok || v.IsNil() {
+		return core.Nil, false
+	}
+	return v, true
+}
+
+// SetEdgeProp implements core.Engine.
+func (e *Engine) SetEdgeProp(id core.ID, name string, v core.Value) error {
+	t, _, ok := e.edgeRow(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	ensureColumn(t, name)
+	return t.Update(int64(id), name, v)
+}
+
+// RemoveEdgeProp implements core.Engine.
+func (e *Engine) RemoveEdgeProp(id core.ID, name string) error {
+	t, _, ok := e.edgeRow(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	if !t.HasColumn(name) {
+		return nil
+	}
+	return t.Update(int64(id), name, core.Nil)
+}
+
+// RemoveEdge implements core.Engine.
+func (e *Engine) RemoveEdge(id core.ID) error {
+	t, _, ok := e.edgeRow(id)
+	if !ok {
+		return core.ErrNotFound
+	}
+	return t.Delete(int64(id))
+}
+
+// --- scans ---
+
+// CountVertices implements core.Engine: COUNT(*) heap scan.
+func (e *Engine) CountVertices() (int64, error) {
+	var n int64
+	e.vtab.Scan(func(rel.Row) bool { n++; return true })
+	return n, nil
+}
+
+// CountEdges implements core.Engine: a UNION ALL of counts over every
+// edge table.
+func (e *Engine) CountEdges() (int64, error) {
+	var n int64
+	for _, t := range e.etabs {
+		t.Scan(func(rel.Row) bool { n++; return true })
+	}
+	return n, nil
+}
+
+// Vertices implements core.Engine.
+func (e *Engine) Vertices() core.Iter[core.ID] {
+	ids := e.vtab.SortedIDs()
+	out := make([]core.ID, len(ids))
+	for i, id := range ids {
+		out[i] = core.ID(id)
+	}
+	return core.SliceIter(out)
+}
+
+// Edges implements core.Engine: union over the edge tables.
+func (e *Engine) Edges() core.Iter[core.ID] {
+	var out []core.ID
+	for _, t := range e.etabs {
+		for _, id := range t.SortedIDs() {
+			out = append(out, core.ID(id))
+		}
+	}
+	return core.SliceIter(sortedIDs(out))
+}
+
+// VerticesByProp implements core.Engine: one relational predicate scan,
+// or an index seek when the user created an attribute index — the
+// planner choice measured by Figure 4(c).
+func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
+	if !e.vtab.HasColumn(name) {
+		return core.EmptyIter[core.ID]()
+	}
+	var out []core.ID
+	e.vtab.SelectEq(name, v, func(r rel.Row) bool {
+		out = append(out, core.ID(r[0].Int()))
+		return true
+	})
+	return core.SliceIter(sortedIDs(out))
+}
+
+// EdgesByProp implements core.Engine.
+func (e *Engine) EdgesByProp(name string, v core.Value) core.Iter[core.ID] {
+	var out []core.ID
+	for _, t := range e.etabs {
+		if !t.HasColumn(name) {
+			continue
+		}
+		t.SelectEq(name, v, func(r rel.Row) bool {
+			out = append(out, core.ID(r[0].Int()))
+			return true
+		})
+	}
+	return core.SliceIter(sortedIDs(out))
+}
+
+// EdgesByLabel implements core.Engine: a single-table scan — the
+// relational layout's home game (an order of magnitude faster than the
+// native engines in the paper).
+func (e *Engine) EdgesByLabel(label string) core.Iter[core.ID] {
+	i, ok := e.labelOf[label]
+	if !ok {
+		return core.EmptyIter[core.ID]()
+	}
+	var out []core.ID
+	e.etabs[i].Scan(func(r rel.Row) bool {
+		out = append(out, core.ID(r[0].Int()))
+		return true
+	})
+	return core.SliceIter(sortedIDs(out))
+}
+
+// --- traversal ---
+
+// tablesFor returns the edge tables a hop must consult: one per
+// requested label, or all of them for an unfiltered hop (the union the
+// paper blames for Sqlg's traversal cost).
+func (e *Engine) tablesFor(labels []string) []*rel.Table {
+	if len(labels) == 0 {
+		return e.etabs
+	}
+	var out []*rel.Table
+	for _, l := range labels {
+		if i, ok := e.labelOf[l]; ok {
+			out = append(out, e.etabs[i])
+		}
+	}
+	return out
+}
+
+// IncidentEdges implements core.Engine: an indexed join per table.
+func (e *Engine) IncidentEdges(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	if !e.HasVertex(id) {
+		return core.EmptyIter[core.ID]()
+	}
+	key := core.I(int64(id))
+	var out []core.ID
+	for _, t := range e.tablesFor(labels) {
+		if d == core.DirOut || d == core.DirBoth {
+			t.SelectEq("src", key, func(r rel.Row) bool {
+				out = append(out, core.ID(r[0].Int()))
+				return true
+			})
+		}
+		if d == core.DirIn || d == core.DirBoth {
+			t.SelectEq("dst", key, func(r rel.Row) bool {
+				if d == core.DirBoth && r[1].Compare(r[2]) == 0 {
+					return true // loop already collected by the src join
+				}
+				out = append(out, core.ID(r[0].Int()))
+				return true
+			})
+		}
+	}
+	return core.SliceIter(out)
+}
+
+// Neighbors implements core.Engine.
+func (e *Engine) Neighbors(id core.ID, d core.Direction, labels ...string) core.Iter[core.ID] {
+	if !e.HasVertex(id) {
+		return core.EmptyIter[core.ID]()
+	}
+	key := core.I(int64(id))
+	var out []core.ID
+	for _, t := range e.tablesFor(labels) {
+		if d == core.DirOut || d == core.DirBoth {
+			t.SelectEq("src", key, func(r rel.Row) bool {
+				out = append(out, core.ID(r[2].Int()))
+				return true
+			})
+		}
+		if d == core.DirIn || d == core.DirBoth {
+			t.SelectEq("dst", key, func(r rel.Row) bool {
+				if d == core.DirBoth && r[1].Compare(r[2]) == 0 {
+					return true
+				}
+				out = append(out, core.ID(r[1].Int()))
+				return true
+			})
+		}
+	}
+	return core.SliceIter(out)
+}
+
+// Degree implements core.Engine: indexed counts over every edge table.
+func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
+	if !e.HasVertex(id) {
+		return 0, core.ErrNotFound
+	}
+	return int64(core.Drain(e.IncidentEdges(id, d))), nil
+}
+
+// --- index / bulk / space ---
+
+// BuildVertexPropIndex implements core.Engine: CREATE INDEX.
+func (e *Engine) BuildVertexPropIndex(name string) error {
+	ensureColumn(e.vtab, name)
+	if err := e.vtab.CreateIndex(name); err != nil {
+		return err
+	}
+	e.vindexed[name] = true
+	return nil
+}
+
+// HasVertexPropIndex implements core.Engine.
+func (e *Engine) HasVertexPropIndex(name string) bool { return e.vindexed[name] }
+
+// BulkLoad implements core.Engine: schema first (one ALTER-free CREATE
+// per label with all property columns known up front), then COPY-style
+// row inserts.
+func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	res := &core.LoadResult{
+		VertexIDs: make([]core.ID, g.NumVertices()),
+		EdgeIDs:   make([]core.ID, g.NumEdges()),
+	}
+	// Collect the vertex schema.
+	for i := range g.VProps {
+		for k := range g.VProps[i] {
+			ensureColumn(e.vtab, k)
+		}
+	}
+	cols := e.vtab.Columns()
+	for i := range g.VProps {
+		id := e.nextVertex
+		e.nextVertex++
+		row := make(rel.Row, len(cols))
+		row[0] = core.I(id)
+		for ci := 1; ci < len(cols); ci++ {
+			if v, ok := g.VProps[i][cols[ci]]; ok {
+				row[ci] = v
+			}
+		}
+		if err := e.vtab.Insert(row); err != nil {
+			return nil, err
+		}
+		res.VertexIDs[i] = core.ID(id)
+	}
+	// Edge schemas per label.
+	for i := range g.EdgeL {
+		t, _ := e.edgeTable(g.EdgeL[i].Label)
+		for k := range g.EdgeL[i].Props {
+			ensureColumn(t, k)
+		}
+	}
+	for i := range g.EdgeL {
+		er := &g.EdgeL[i]
+		t, ti := e.edgeTable(er.Label)
+		id := makeEdgeID(ti, e.nextEdge)
+		e.nextEdge++
+		ecols := t.Columns()
+		row := make(rel.Row, len(ecols))
+		row[0] = core.I(int64(id))
+		row[1] = core.I(int64(res.VertexIDs[er.Src]))
+		row[2] = core.I(int64(res.VertexIDs[er.Dst]))
+		for ci := 3; ci < len(ecols); ci++ {
+			if v, ok := er.Props[ecols[ci]]; ok {
+				row[ci] = v
+			}
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		res.EdgeIDs[i] = id
+	}
+	return res, nil
+}
+
+// SpaceUsage implements core.Engine.
+func (e *Engine) SpaceUsage() core.SpaceReport {
+	var r core.SpaceReport
+	r.Add("vertex-table", e.vtab.Bytes())
+	var eb int64
+	for _, t := range e.etabs {
+		eb += t.Bytes()
+	}
+	r.Add("edge-tables", eb)
+	return r
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return nil }

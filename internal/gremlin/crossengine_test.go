@@ -1,0 +1,260 @@
+package gremlin
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/engines/arango"
+	"repro/internal/engines/blaze"
+	"repro/internal/engines/neo"
+	"repro/internal/engines/orient"
+	"repro/internal/engines/sparksee"
+	"repro/internal/engines/sqlg"
+	"repro/internal/engines/titan"
+)
+
+// allEngines builds one fresh instance of each configuration.
+func allEngines() map[string]core.Engine {
+	return map[string]core.Engine{
+		"arango":    arango.New(),
+		"blaze":     blaze.New(),
+		"neo-1.9":   neo.New(neo.V19),
+		"neo-3.0":   neo.New(neo.V30),
+		"orient":    orient.New(),
+		"sparksee":  sparksee.New(),
+		"sqlg":      sqlg.New(),
+		"titan-0.5": titan.New(titan.V05),
+		"titan-1.0": titan.New(titan.V10),
+	}
+}
+
+func randomGraph(seed int64) *core.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	nv := 10 + rng.Intn(25)
+	ne := nv + rng.Intn(3*nv)
+	g := core.NewGraph(nv, ne)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < nv; i++ {
+		g.AddVertex(core.Props{"n": core.I(int64(i))})
+	}
+	for i := 0; i < ne; i++ {
+		g.AddEdge(rng.Intn(nv), rng.Intn(nv), labels[rng.Intn(len(labels))], nil)
+	}
+	return g
+}
+
+// refBFS computes BFS reach on the dataset graph directly.
+func refBFS(g *core.Graph, start, depth int, label string) int {
+	adj := make([][]int, g.NumVertices())
+	for i := range g.EdgeL {
+		e := &g.EdgeL[i]
+		if label != "" && e.Label != label {
+			continue
+		}
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	visited := map[int]bool{start: true}
+	frontier := []int{start}
+	count := 0
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					count++
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return count
+}
+
+// refSPLen computes shortest-path length (vertex count) or 0.
+func refSPLen(g *core.Graph, a, b int) int {
+	if a == b {
+		return 1
+	}
+	adj := make([][]int, g.NumVertices())
+	for i := range g.EdgeL {
+		e := &g.EdgeL[i]
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	dist := map[int]int{a: 1}
+	frontier := []int{a}
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range adj[v] {
+				if _, seen := dist[w]; seen {
+					continue
+				}
+				dist[w] = dist[v] + 1
+				if w == b {
+					return dist[w]
+				}
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return 0
+}
+
+// TestQuickBFSAndSPMatchReferenceOnAllEngines is the heavyweight
+// cross-validation: on random graphs, every engine's BFS reach and
+// shortest-path length must equal a reference computed directly on the
+// dataset — across depths and label filters.
+func TestQuickBFSAndSPMatchReferenceOnAllEngines(t *testing.T) {
+	ctx := context.Background()
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ee))
+		start := rng.Intn(g.NumVertices())
+		target := rng.Intn(g.NumVertices())
+		depth := 1 + rng.Intn(4)
+
+		wantBFS := refBFS(g, start, depth, "")
+		wantBFSLab := refBFS(g, start, depth, "b")
+		wantSP := refSPLen(g, start, target)
+
+		for name, e := range allEngines() {
+			res, err := e.BulkLoad(g)
+			if err != nil {
+				t.Logf("%s: load: %v", name, err)
+				return false
+			}
+			got, err := BFS(ctx, e, res.VertexIDs[start], depth)
+			if err != nil || len(got) != wantBFS {
+				t.Logf("%s: BFS = %d (err %v), want %d [seed %d]", name, len(got), err, wantBFS, seed)
+				return false
+			}
+			gotLab, err := BFS(ctx, e, res.VertexIDs[start], depth, "b")
+			if err != nil || len(gotLab) != wantBFSLab {
+				t.Logf("%s: BFS(b) = %d, want %d [seed %d]", name, len(gotLab), wantBFSLab, seed)
+				return false
+			}
+			path, err := ShortestPath(ctx, e, res.VertexIDs[start], res.VertexIDs[target])
+			if err != nil || len(path) != wantSP {
+				t.Logf("%s: SP = %d, want %d [seed %d]", name, len(path), wantSP, seed)
+				return false
+			}
+			e.Close()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDegreeDistributionsAgree: the multiset of vertex degrees
+// reported by each engine must equal the dataset's.
+func TestQuickDegreeDistributionsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		wantOut := make([]int, g.NumVertices())
+		wantIn := make([]int, g.NumVertices())
+		for i := range g.EdgeL {
+			wantOut[g.EdgeL[i].Src]++
+			wantIn[g.EdgeL[i].Dst]++
+		}
+		sortInts := func(s []int) { sort.Ints(s) }
+		wo := append([]int(nil), wantOut...)
+		wi := append([]int(nil), wantIn...)
+		sortInts(wo)
+		sortInts(wi)
+		for name, e := range allEngines() {
+			res, err := e.BulkLoad(g)
+			if err != nil {
+				return false
+			}
+			var gotOut, gotIn []int
+			for _, vid := range res.VertexIDs {
+				o, err1 := e.Degree(vid, core.DirOut)
+				in, err2 := e.Degree(vid, core.DirIn)
+				if err1 != nil || err2 != nil {
+					t.Logf("%s: degree errors: %v %v", name, err1, err2)
+					return false
+				}
+				gotOut = append(gotOut, int(o))
+				gotIn = append(gotIn, int(in))
+			}
+			sortInts(gotOut)
+			sortInts(gotIn)
+			for i := range wo {
+				if gotOut[i] != wo[i] || gotIn[i] != wi[i] {
+					t.Logf("%s: degree distribution mismatch [seed %d]", name, seed)
+					return false
+				}
+			}
+			e.Close()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScanConsistency: g.V().Count, g.E().Count and per-label edge
+// counts agree with the dataset on every engine, after random edge
+// deletions applied identically everywhere.
+func TestQuickScanConsistency(t *testing.T) {
+	ctx := context.Background()
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xdead))
+		del := map[int]bool{}
+		for i := 0; i < g.NumEdges()/5; i++ {
+			del[rng.Intn(g.NumEdges())] = true
+		}
+		labelCount := map[string]int64{}
+		live := 0
+		for i := range g.EdgeL {
+			if !del[i] {
+				labelCount[g.EdgeL[i].Label]++
+				live++
+			}
+		}
+		for name, e := range allEngines() {
+			res, err := e.BulkLoad(g)
+			if err != nil {
+				return false
+			}
+			for i := range del {
+				if err := e.RemoveEdge(res.EdgeIDs[i]); err != nil {
+					t.Logf("%s: remove: %v", name, err)
+					return false
+				}
+			}
+			gr := New(e)
+			nv, _ := gr.V().Count(ctx)
+			ne, _ := gr.E().Count(ctx)
+			if nv != int64(g.NumVertices()) || ne != int64(live) {
+				t.Logf("%s: counts %d/%d want %d/%d [seed %d]", name, nv, ne, g.NumVertices(), live, seed)
+				return false
+			}
+			for _, l := range []string{"a", "b", "c", "d"} {
+				n, _ := gr.EHasLabel(l).Count(ctx)
+				if n != labelCount[l] {
+					t.Logf("%s: label %s = %d want %d [seed %d]", name, l, n, labelCount[l], seed)
+					return false
+				}
+			}
+			e.Close()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

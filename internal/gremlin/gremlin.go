@@ -1,0 +1,409 @@
+// Package gremlin implements a Gremlin-style traversal machine over the
+// core.Engine contract: lazy step pipelines (g.V().has(...).out()...)
+// with terminal operations that respect context deadlines.
+//
+// It plays the role Apache TinkerPop plays in the paper — the
+// database-independent connectivity layer through which every test query
+// is expressed exactly once. Like the non-optimizing adapters the paper
+// describes for most engines, steps execute one element at a time
+// against the engine API; the only "optimizations" are the source-step
+// fast paths every adapter has (g.V().has(p,v) → engine property lookup,
+// g.E().hasLabel(l) → engine label lookup), which the workload package
+// uses explicitly where the paper's queries do.
+package gremlin
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// ctxCheckEvery bounds how many elements flow between deadline checks.
+const ctxCheckEvery = 64
+
+// stream produces elements until ok is false; err aborts the traversal
+// (e.g. core.ErrOutOfMemory from an engine, or ctx cancellation).
+type stream func() (id core.ID, ok bool, err error)
+
+func fromIter(it core.Iter[core.ID]) stream {
+	return func() (core.ID, bool, error) {
+		id, ok := it()
+		return id, ok, nil
+	}
+}
+
+// Kind of element flowing through a traversal.
+type Kind uint8
+
+// Element kinds.
+const (
+	KindVertex Kind = iota
+	KindEdge
+)
+
+// Traversal is a lazy pipeline of elements (vertices or edges).
+type Traversal struct {
+	e    core.Engine
+	kind Kind
+	src  stream
+}
+
+// G roots traversals at an engine, mirroring the Gremlin "g".
+type G struct{ e core.Engine }
+
+// New returns a traversal source over the engine.
+func New(e core.Engine) G { return G{e: e} }
+
+// Engine returns the underlying engine.
+func (g G) Engine() core.Engine { return g.e }
+
+// V streams all vertices (g.V).
+func (g G) V() *Traversal {
+	return &Traversal{e: g.e, kind: KindVertex, src: fromIter(g.e.Vertices())}
+}
+
+// E streams all edges (g.E).
+func (g G) E() *Traversal {
+	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(g.e.Edges())}
+}
+
+// VID streams the single vertex with the given id (g.V(id), Q14).
+func (g G) VID(id core.ID) *Traversal {
+	ids := []core.ID{}
+	if g.e.HasVertex(id) {
+		ids = append(ids, id)
+	}
+	return &Traversal{e: g.e, kind: KindVertex, src: fromIter(core.SliceIter(ids))}
+}
+
+// EID streams the single edge with the given id (g.E(id), Q15).
+func (g G) EID(id core.ID) *Traversal {
+	ids := []core.ID{}
+	if g.e.HasEdge(id) {
+		ids = append(ids, id)
+	}
+	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(core.SliceIter(ids))}
+}
+
+// VHas streams vertices with property name = v through the engine's
+// search surface (g.V.has(name, value), Q11 — the step that benefits
+// from attribute indexes in Figure 4(c)).
+func (g G) VHas(name string, v core.Value) *Traversal {
+	return &Traversal{e: g.e, kind: KindVertex, src: fromIter(g.e.VerticesByProp(name, v))}
+}
+
+// EHas streams edges with property name = v (g.E.has(name, value), Q12).
+func (g G) EHas(name string, v core.Value) *Traversal {
+	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(g.e.EdgesByProp(name, v))}
+}
+
+// EHasLabel streams edges with the given label (g.E.has('label', l),
+// Q13).
+func (g G) EHasLabel(label string) *Traversal {
+	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(g.e.EdgesByLabel(label))}
+}
+
+// Kind reports whether the traversal currently carries vertices or
+// edges.
+func (t *Traversal) Kind() Kind { return t.kind }
+
+func (t *Traversal) derive(kind Kind, s stream) *Traversal {
+	return &Traversal{e: t.e, kind: kind, src: s}
+}
+
+// flatMap expands each incoming element through expand.
+func (t *Traversal) flatMap(kind Kind, expand func(core.ID) core.Iter[core.ID]) *Traversal {
+	src := t.src
+	var cur core.Iter[core.ID]
+	return t.derive(kind, func() (core.ID, bool, error) {
+		for {
+			if cur != nil {
+				if id, ok := cur(); ok {
+					return id, true, nil
+				}
+				cur = nil
+			}
+			id, ok, err := src()
+			if err != nil || !ok {
+				return core.NoID, false, err
+			}
+			cur = expand(id)
+		}
+	})
+}
+
+// Out moves vertex→vertex over outgoing edges (v.out, Q23).
+func (t *Traversal) Out(labels ...string) *Traversal {
+	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
+		return t.e.Neighbors(id, core.DirOut, labels...)
+	})
+}
+
+// In moves vertex→vertex over incoming edges (v.in, Q22).
+func (t *Traversal) In(labels ...string) *Traversal {
+	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
+		return t.e.Neighbors(id, core.DirIn, labels...)
+	})
+}
+
+// Both moves vertex→vertex over all incident edges (v.both, Q24).
+func (t *Traversal) Both(labels ...string) *Traversal {
+	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
+		return t.e.Neighbors(id, core.DirBoth, labels...)
+	})
+}
+
+// OutE moves vertex→edge (v.outE, Q26).
+func (t *Traversal) OutE(labels ...string) *Traversal {
+	return t.flatMap(KindEdge, func(id core.ID) core.Iter[core.ID] {
+		return t.e.IncidentEdges(id, core.DirOut, labels...)
+	})
+}
+
+// InE moves vertex→edge (v.inE, Q25).
+func (t *Traversal) InE(labels ...string) *Traversal {
+	return t.flatMap(KindEdge, func(id core.ID) core.Iter[core.ID] {
+		return t.e.IncidentEdges(id, core.DirIn, labels...)
+	})
+}
+
+// BothE moves vertex→edge (v.bothE, Q27).
+func (t *Traversal) BothE(labels ...string) *Traversal {
+	return t.flatMap(KindEdge, func(id core.ID) core.Iter[core.ID] {
+		return t.e.IncidentEdges(id, core.DirBoth, labels...)
+	})
+}
+
+// OutV moves edge→source vertex.
+func (t *Traversal) OutV() *Traversal {
+	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
+		src, _, err := t.e.EdgeEnds(id)
+		if err != nil {
+			return core.EmptyIter[core.ID]()
+		}
+		return core.SliceIter([]core.ID{src})
+	})
+}
+
+// InV moves edge→destination vertex.
+func (t *Traversal) InV() *Traversal {
+	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
+		_, dst, err := t.e.EdgeEnds(id)
+		if err != nil {
+			return core.EmptyIter[core.ID]()
+		}
+		return core.SliceIter([]core.ID{dst})
+	})
+}
+
+// Has filters elements on a property value (mid-pipeline .has step —
+// always a per-element probe, never an index).
+func (t *Traversal) Has(name string, v core.Value) *Traversal {
+	return t.Filter(func(id core.ID) (bool, error) {
+		var got core.Value
+		var ok bool
+		if t.kind == KindVertex {
+			got, ok = t.e.VertexProp(id, name)
+		} else {
+			got, ok = t.e.EdgeProp(id, name)
+		}
+		return ok && got.Compare(v) == 0, nil
+	})
+}
+
+// HasLabel filters edges on their label.
+func (t *Traversal) HasLabel(label string) *Traversal {
+	return t.Filter(func(id core.ID) (bool, error) {
+		l, err := t.e.EdgeLabel(id)
+		if err != nil {
+			return false, nil
+		}
+		return l == label, nil
+	})
+}
+
+// Filter keeps the elements for which keep returns true; an error from
+// keep aborts the traversal (this is how engine failures such as
+// core.ErrOutOfMemory propagate out of Q28–Q31).
+func (t *Traversal) Filter(keep func(core.ID) (bool, error)) *Traversal {
+	src := t.src
+	return t.derive(t.kind, func() (core.ID, bool, error) {
+		for {
+			id, ok, err := src()
+			if err != nil || !ok {
+				return core.NoID, false, err
+			}
+			hit, err := keep(id)
+			if err != nil {
+				return core.NoID, false, err
+			}
+			if hit {
+				return id, true, nil
+			}
+		}
+	})
+}
+
+// DegreeAtLeast keeps vertices with at least k incident edges in
+// direction d (the filter of Q28–Q30).
+func (t *Traversal) DegreeAtLeast(d core.Direction, k int64) *Traversal {
+	return t.Filter(func(id core.ID) (bool, error) {
+		deg, err := t.e.Degree(id, d)
+		if err != nil {
+			return false, err
+		}
+		return deg >= k, nil
+	})
+}
+
+// Dedup suppresses repeated element ids (.dedup).
+func (t *Traversal) Dedup() *Traversal {
+	src := t.src
+	seen := make(map[core.ID]struct{})
+	return t.derive(t.kind, func() (core.ID, bool, error) {
+		for {
+			id, ok, err := src()
+			if err != nil || !ok {
+				return core.NoID, false, err
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			return id, true, nil
+		}
+	})
+}
+
+// Except drops elements contained in the set (.except(vs)).
+func (t *Traversal) Except(set map[core.ID]struct{}) *Traversal {
+	return t.Filter(func(id core.ID) (bool, error) {
+		_, in := set[id]
+		return !in, nil
+	})
+}
+
+// Store adds every passing element to the set (.store(vs)).
+func (t *Traversal) Store(set map[core.ID]struct{}) *Traversal {
+	src := t.src
+	return t.derive(t.kind, func() (core.ID, bool, error) {
+		id, ok, err := src()
+		if err != nil || !ok {
+			return core.NoID, false, err
+		}
+		set[id] = struct{}{}
+		return id, true, nil
+	})
+}
+
+// Limit stops the traversal after n elements (.limit).
+func (t *Traversal) Limit(n int64) *Traversal {
+	src := t.src
+	var seen int64
+	return t.derive(t.kind, func() (core.ID, bool, error) {
+		if seen >= n {
+			return core.NoID, false, nil
+		}
+		id, ok, err := src()
+		if err != nil || !ok {
+			return core.NoID, false, err
+		}
+		seen++
+		return id, true, nil
+	})
+}
+
+// --- terminal operations (deadline-aware) ---
+
+func (t *Traversal) drain(ctx context.Context, fn func(core.ID) bool) error {
+	n := 0
+	for {
+		if n%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return core.ErrTimeout
+			}
+		}
+		n++
+		id, ok, err := t.src()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if !fn(id) {
+			return nil
+		}
+	}
+}
+
+// Count drains the traversal and returns the element count (.count).
+func (t *Traversal) Count(ctx context.Context) (int64, error) {
+	var n int64
+	err := t.drain(ctx, func(core.ID) bool { n++; return true })
+	return n, err
+}
+
+// IDs drains the traversal into a slice.
+func (t *Traversal) IDs(ctx context.Context) ([]core.ID, error) {
+	var out []core.ID
+	err := t.drain(ctx, func(id core.ID) bool { out = append(out, id); return true })
+	return out, err
+}
+
+// First returns the first element; ok is false on an empty traversal.
+func (t *Traversal) First(ctx context.Context) (core.ID, bool, error) {
+	var got core.ID
+	found := false
+	err := t.drain(ctx, func(id core.ID) bool { got, found = id, true; return false })
+	return got, found, err
+}
+
+// Labels drains an edge traversal into the label of each edge (.label).
+func (t *Traversal) Labels(ctx context.Context) ([]string, error) {
+	var out []string
+	err := t.drain(ctx, func(id core.ID) bool {
+		if l, err := t.e.EdgeLabel(id); err == nil {
+			out = append(out, l)
+		}
+		return true
+	})
+	return out, err
+}
+
+// DistinctLabels drains an edge traversal into its distinct labels
+// (.label.dedup — Q10, Q25–Q27).
+func (t *Traversal) DistinctLabels(ctx context.Context) ([]string, error) {
+	seen := make(map[string]struct{})
+	var out []string
+	err := t.drain(ctx, func(id core.ID) bool {
+		if l, err := t.e.EdgeLabel(id); err == nil {
+			if _, dup := seen[l]; !dup {
+				seen[l] = struct{}{}
+				out = append(out, l)
+			}
+		}
+		return true
+	})
+	return out, err
+}
+
+// Values drains the traversal into one property value per element,
+// skipping elements without the property (.values(name)).
+func (t *Traversal) Values(ctx context.Context, name string) ([]core.Value, error) {
+	var out []core.Value
+	err := t.drain(ctx, func(id core.ID) bool {
+		var v core.Value
+		var ok bool
+		if t.kind == KindVertex {
+			v, ok = t.e.VertexProp(id, name)
+		} else {
+			v, ok = t.e.EdgeProp(id, name)
+		}
+		if ok {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out, err
+}

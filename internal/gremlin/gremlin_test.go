@@ -1,0 +1,324 @@
+package gremlin
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines/neo"
+	"repro/internal/engines/sqlg"
+)
+
+// testEngines returns one native and one hybrid engine, so every test
+// runs against two very different physical layouts.
+func testEngines() map[string]core.Engine {
+	return map[string]core.Engine{
+		"neo":  neo.New(neo.V19),
+		"sqlg": sqlg.New(),
+	}
+}
+
+// diamond builds:
+//
+//	a -x-> b -y-> d
+//	a -y-> c -y-> d,  d -z-> a
+func diamond(t *testing.T, e core.Engine) (a, b, c, d core.ID) {
+	t.Helper()
+	var err error
+	if a, err = e.AddVertex(core.Props{"name": core.S("a"), "deg": core.I(3)}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = e.AddVertex(core.Props{"name": core.S("b")})
+	c, _ = e.AddVertex(core.Props{"name": core.S("c")})
+	d, _ = e.AddVertex(core.Props{"name": core.S("d")})
+	e.AddEdge(a, b, "x", core.Props{"w": core.I(1)})
+	e.AddEdge(a, c, "y", nil)
+	e.AddEdge(b, d, "y", nil)
+	e.AddEdge(c, d, "y", nil)
+	e.AddEdge(d, a, "z", nil)
+	return
+}
+
+func sorted(ids []core.ID) []core.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func eq(a, b []core.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSourceStepsAndCounts(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			diamond(t, e)
+			ctx := context.Background()
+			g := New(e)
+			if n, err := g.V().Count(ctx); err != nil || n != 4 {
+				t.Fatalf("V count = %d, %v", n, err)
+			}
+			if n, err := g.E().Count(ctx); err != nil || n != 5 {
+				t.Fatalf("E count = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+func TestHopsAndFilters(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			a, b, c, d := diamond(t, e)
+			ctx := context.Background()
+			g := New(e)
+
+			out, err := g.VID(a).Out().IDs(ctx)
+			if err != nil || !eq(sorted(out), sorted([]core.ID{b, c})) {
+				t.Fatalf("out(a) = %v, %v", out, err)
+			}
+			outY, _ := g.VID(a).Out("y").IDs(ctx)
+			if !eq(outY, []core.ID{c}) {
+				t.Fatalf("out(a,y) = %v", outY)
+			}
+			in, _ := g.VID(d).In().IDs(ctx)
+			if !eq(sorted(in), sorted([]core.ID{b, c})) {
+				t.Fatalf("in(d) = %v", in)
+			}
+			both, _ := g.VID(a).Both().IDs(ctx)
+			if len(both) != 3 {
+				t.Fatalf("both(a) = %v", both)
+			}
+			two, _ := g.VID(a).Out().Out().Dedup().IDs(ctx)
+			if !eq(two, []core.ID{d}) {
+				t.Fatalf("out.out(a).dedup = %v", two)
+			}
+			named, _ := g.VHas("name", core.S("b")).IDs(ctx)
+			if !eq(named, []core.ID{b}) {
+				t.Fatalf("VHas(name,b) = %v", named)
+			}
+			heavy, _ := g.V().Has("deg", core.I(3)).IDs(ctx)
+			if !eq(heavy, []core.ID{a}) {
+				t.Fatalf("Has(deg,3) = %v", heavy)
+			}
+			we, _ := g.EHas("w", core.I(1)).Count(ctx)
+			if we != 1 {
+				t.Fatalf("EHas(w,1) = %d", we)
+			}
+			ys, _ := g.EHasLabel("y").Count(ctx)
+			if ys != 3 {
+				t.Fatalf("EHasLabel(y) = %d", ys)
+			}
+		})
+	}
+}
+
+func TestEdgeStepsAndLabels(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			a, _, _, d := diamond(t, e)
+			ctx := context.Background()
+			g := New(e)
+			ls, err := g.E().DistinctLabels(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(ls)
+			if len(ls) != 3 || ls[0] != "x" || ls[1] != "y" || ls[2] != "z" {
+				t.Fatalf("labels = %v", ls)
+			}
+			outLs, _ := g.VID(a).OutE().DistinctLabels(ctx)
+			sort.Strings(outLs)
+			if len(outLs) != 2 || outLs[0] != "x" || outLs[1] != "y" {
+				t.Fatalf("outE labels = %v", outLs)
+			}
+			inV, _ := g.VID(a).OutE("x").InV().IDs(ctx)
+			if len(inV) != 1 {
+				t.Fatalf("outE.inV = %v", inV)
+			}
+			srcs, _ := g.VID(d).InE().OutV().Dedup().Count(ctx)
+			if srcs != 2 {
+				t.Fatalf("inE.outV = %d", srcs)
+			}
+		})
+	}
+}
+
+func TestDegreeFilterAndStoreExcept(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			a, _, _, d := diamond(t, e)
+			ctx := context.Background()
+			g := New(e)
+			big, err := g.V().DegreeAtLeast(core.DirBoth, 3).IDs(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq(sorted(big), sorted([]core.ID{a, d})) {
+				t.Fatalf("degree>=3 = %v", big)
+			}
+			withIn, _ := g.V().Filter(func(id core.ID) (bool, error) {
+				n, err := g.Engine().Degree(id, core.DirIn)
+				return n >= 1, err
+			}).Count(ctx)
+			if withIn != 4 {
+				t.Fatalf("with incoming = %d", withIn)
+			}
+			set := map[core.ID]struct{}{a: {}}
+			rest, _ := g.V().Except(set).Store(set).Count(ctx)
+			if rest != 3 || len(set) != 4 {
+				t.Fatalf("except/store = %d, set %d", rest, len(set))
+			}
+		})
+	}
+}
+
+func TestLimitAndFirstAndValues(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	diamond(t, e)
+	ctx := context.Background()
+	g := New(e)
+	if n, _ := g.V().Limit(2).Count(ctx); n != 2 {
+		t.Fatalf("limit = %d", n)
+	}
+	if _, ok, _ := g.V().First(ctx); !ok {
+		t.Fatal("First on non-empty traversal")
+	}
+	if _, ok, _ := g.VHas("name", core.S("zzz")).First(ctx); ok {
+		t.Fatal("First on empty traversal")
+	}
+	vals, _ := g.V().Values(ctx, "name")
+	if len(vals) != 4 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestTimeoutPropagates(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	g := New(e)
+	var prev core.ID = core.NoID
+	for i := 0; i < 5000; i++ {
+		v, _ := e.AddVertex(nil)
+		if prev != core.NoID {
+			e.AddEdge(prev, v, "n", nil)
+		}
+		prev = v
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := g.V().Count(ctx); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("expired deadline err = %v", err)
+	}
+	if _, err := BFS(ctx, e, 0, 10); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("BFS deadline err = %v", err)
+	}
+	if _, err := ShortestPath(ctx, e, 0, 4999); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("SP deadline err = %v", err)
+	}
+}
+
+func TestFilterErrorAborts(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		e.AddVertex(nil)
+	}
+	g := New(e)
+	boom := errors.New("boom")
+	_, err := g.V().Filter(func(core.ID) (bool, error) { return false, boom }).Count(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("filter error = %v", err)
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			// Path graph 0-1-2-3-4 (undirected reach via both()).
+			var vs []core.ID
+			for i := 0; i < 5; i++ {
+				v, _ := e.AddVertex(nil)
+				vs = append(vs, v)
+			}
+			for i := 0; i < 4; i++ {
+				e.AddEdge(vs[i], vs[i+1], "p", nil)
+			}
+			ctx := context.Background()
+			for depth, want := range map[int]int{1: 1, 2: 2, 4: 4, 10: 4} {
+				got, err := BFS(ctx, e, vs[0], depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != want {
+					t.Fatalf("BFS depth %d = %d nodes, want %d", depth, len(got), want)
+				}
+			}
+			// Label-restricted BFS stops immediately on a missing label.
+			got, err := BFS(ctx, e, vs[0], 3, "absent")
+			if err != nil || len(got) != 0 {
+				t.Fatalf("label BFS = %v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			a, b, c, d := diamond(t, e)
+			_ = b
+			ctx := context.Background()
+			// The z edge d->a makes a and d adjacent under both().
+			p, err := ShortestPath(ctx, e, a, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p) != 2 || p[0] != a || p[1] != d {
+				t.Fatalf("path = %v", p)
+			}
+			// Label-filtered: only y edges, a-y->c-y->d.
+			p, err = ShortestPath(ctx, e, a, d, "y")
+			if err != nil || len(p) != 3 || p[1] != c {
+				t.Fatalf("y-path = %v, %v", p, err)
+			}
+			// Unreachable via label x only.
+			p, err = ShortestPath(ctx, e, c, b, "x")
+			if err != nil || p != nil {
+				t.Fatalf("unreachable path = %v, %v", p, err)
+			}
+			// Self path.
+			p, _ = ShortestPath(ctx, e, a, a)
+			if len(p) != 1 {
+				t.Fatalf("self path = %v", p)
+			}
+		})
+	}
+}
+
+func TestBFSOnMissingVertex(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	if _, err := BFS(context.Background(), e, 99, 2); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("BFS missing start err = %v", err)
+	}
+	if _, err := ShortestPath(context.Background(), e, 0, 1); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("SP missing err = %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package gremlin
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// GroupCount drains the traversal into element→occurrence counts (the
+// Gremlin groupCount() step; the building block of the recommendation
+// queries in the complex workload, which rank friend-of-friend
+// candidates by common-neighbour count).
+func (t *Traversal) GroupCount(ctx context.Context) (map[core.ID]int64, error) {
+	out := make(map[core.ID]int64)
+	err := t.drain(ctx, func(id core.ID) bool {
+		out[id]++
+		return true
+	})
+	return out, err
+}
+
+// Ranked is one element of an ordered result.
+type Ranked struct {
+	ID    core.ID
+	Value core.Value
+}
+
+// OrderBy drains the traversal and sorts elements by the given property
+// (elements lacking it sort last), ascending or descending — the
+// order().by() step. Ties break by ID for determinism.
+func (t *Traversal) OrderBy(ctx context.Context, name string, descending bool) ([]Ranked, error) {
+	var out []Ranked
+	err := t.drain(ctx, func(id core.ID) bool {
+		var v core.Value
+		var ok bool
+		if t.kind == KindVertex {
+			v, ok = t.e.VertexProp(id, name)
+		} else {
+			v, ok = t.e.EdgeProp(id, name)
+		}
+		if !ok {
+			v = core.Nil
+		}
+		out = append(out, Ranked{ID: id, Value: v})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		// Nil (missing property) sorts after any present value.
+		in, jn := out[i].Value.IsNil(), out[j].Value.IsNil()
+		if in != jn {
+			return jn
+		}
+		c := out[i].Value.Compare(out[j].Value)
+		if descending {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// TopK drains the traversal and returns the k elements with the
+// greatest (or smallest) property values — order().by().limit(k), the
+// top-k pattern the paper includes in the complex workload.
+func (t *Traversal) TopK(ctx context.Context, name string, k int, descending bool) ([]Ranked, error) {
+	ranked, err := t.OrderBy(ctx, name, descending)
+	if err != nil {
+		return nil, err
+	}
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked, nil
+}
+
+// Sample keeps a uniform random sample of up to n elements (reservoir
+// sampling with a deterministic seed — the harness requires identical
+// random choices across engines, per the paper's methodology). The
+// upstream is drained on the first pull.
+func (t *Traversal) Sample(n int, seed int64) *Traversal {
+	src := t.src
+	var inner core.Iter[core.ID]
+	return t.derive(t.kind, func() (core.ID, bool, error) {
+		if inner == nil {
+			reservoir := make([]core.ID, 0, n)
+			rng := splitMix(uint64(seed))
+			count := 0
+			for {
+				id, ok, err := src()
+				if err != nil {
+					return core.NoID, false, err
+				}
+				if !ok {
+					break
+				}
+				count++
+				if len(reservoir) < n {
+					reservoir = append(reservoir, id)
+					continue
+				}
+				if j := int(rng() % uint64(count)); j < n {
+					reservoir[j] = id
+				}
+			}
+			inner = core.SliceIter(reservoir)
+		}
+		id, ok := inner()
+		return id, ok, nil
+	})
+}
+
+// splitMix returns a deterministic PRNG closure.
+func splitMix(s uint64) func() uint64 {
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

@@ -1,0 +1,167 @@
+package gremlin
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engines/neo"
+	"repro/internal/engines/sqlg"
+)
+
+func TestGroupCount(t *testing.T) {
+	for name, e := range testEngines() {
+		t.Run(name, func(t *testing.T) {
+			defer e.Close()
+			hub, _ := e.AddVertex(nil)
+			a, _ := e.AddVertex(nil)
+			b, _ := e.AddVertex(nil)
+			// hub reaches a twice (parallel edges) and b once.
+			e.AddEdge(hub, a, "l", nil)
+			e.AddEdge(hub, a, "l", nil)
+			e.AddEdge(hub, b, "l", nil)
+			counts, err := New(e).VID(hub).Out().GroupCount(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if counts[a] != 2 || counts[b] != 1 || len(counts) != 2 {
+				t.Fatalf("GroupCount = %v", counts)
+			}
+		})
+	}
+}
+
+func TestOrderByAndTopK(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	scores := []int64{30, 10, 50, 20, 40}
+	var ids []core.ID
+	for _, s := range scores {
+		id, _ := e.AddVertex(core.Props{"score": core.I(s)})
+		ids = append(ids, id)
+	}
+	noScore, _ := e.AddVertex(nil)
+	ctx := context.Background()
+	g := New(e)
+
+	asc, err := g.V().OrderBy(ctx, "score", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asc) != 6 {
+		t.Fatalf("OrderBy kept %d elements", len(asc))
+	}
+	wantAsc := []int64{10, 20, 30, 40, 50}
+	for i, w := range wantAsc {
+		if asc[i].Value.Int() != w {
+			t.Fatalf("asc[%d] = %v, want %d", i, asc[i].Value, w)
+		}
+	}
+	if asc[5].ID != noScore || !asc[5].Value.IsNil() {
+		t.Fatalf("missing property must sort last: %+v", asc[5])
+	}
+
+	top, err := g.V().TopK(ctx, "score", 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Value.Int() != 50 || top[1].Value.Int() != 40 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if top[0].ID != ids[2] {
+		t.Fatalf("TopK id = %v, want %v", top[0].ID, ids[2])
+	}
+
+	// k larger than the result keeps everything.
+	all, _ := g.V().TopK(ctx, "score", 100, false)
+	if len(all) != 6 {
+		t.Fatalf("TopK(100) = %d", len(all))
+	}
+}
+
+func TestOrderByEdgesAndStability(t *testing.T) {
+	e := sqlg.New()
+	defer e.Close()
+	a, _ := e.AddVertex(nil)
+	b, _ := e.AddVertex(nil)
+	e.AddEdge(a, b, "l", core.Props{"w": core.I(5)})
+	e.AddEdge(a, b, "l", core.Props{"w": core.I(5)})
+	e.AddEdge(a, b, "l", core.Props{"w": core.I(1)})
+	ranked, err := New(e).E().OrderBy(context.Background(), "w", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Value.Int() != 1 {
+		t.Fatalf("edge order wrong: %+v", ranked)
+	}
+	// Equal values tie-break by id, ascending.
+	if ranked[1].ID > ranked[2].ID {
+		t.Fatalf("tie-break not by id: %+v", ranked[1:])
+	}
+}
+
+func TestSampleDeterministicAndBounded(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	for i := 0; i < 100; i++ {
+		e.AddVertex(core.Props{"i": core.I(int64(i))})
+	}
+	ctx := context.Background()
+	g := New(e)
+	s1, err := g.V().Sample(10, 7).IDs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := g.V().Sample(10, 7).IDs(ctx)
+	if len(s1) != 10 || len(s2) != 10 {
+		t.Fatalf("sample sizes = %d, %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	s3, _ := g.V().Sample(10, 8).IDs(ctx)
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples")
+	}
+	// Sampling more than exists returns everything.
+	all, _ := g.V().Sample(500, 1).Count(ctx)
+	if all != 100 {
+		t.Fatalf("oversample = %d", all)
+	}
+	// Distinct elements only.
+	seen := map[core.ID]bool{}
+	for _, id := range s1 {
+		if seen[id] {
+			t.Fatal("sample contains duplicates")
+		}
+		seen[id] = true
+	}
+}
+
+func TestSamplePropagatesErrors(t *testing.T) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		e.AddVertex(nil)
+	}
+	boom := errFixed("boom")
+	_, err := New(e).V().
+		Filter(func(core.ID) (bool, error) { return false, boom }).
+		Sample(3, 1).
+		Count(context.Background())
+	if err == nil {
+		t.Fatal("sample swallowed upstream error")
+	}
+}
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }

@@ -1,0 +1,195 @@
+// Package harness materializes the paper's evaluation methodology
+// (Section 5): it loads each dataset into each engine through the
+// engine's bulk path, draws query parameters once against the dataset
+// (so every engine is asked about the same logical objects), executes
+// every micro query in interactive and batch mode under a timeout,
+// runs the complex workload on ldbc, and renders each of the paper's
+// tables and figures from the collected measurements.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/workload"
+)
+
+// Config parameterizes an evaluation run.
+type Config struct {
+	// Engines to evaluate; defaults to all registered configurations.
+	Engines []string
+	// Datasets to use; defaults to the Freebase ladder plus ldbc, the
+	// datasets Section 6 focuses on.
+	Datasets []string
+	// Scale is the dataset scale factor (1.0 = paper sizes).
+	Scale float64
+	// Timeout per query execution — the paper's 2-hour limit, scaled to
+	// the run.
+	Timeout time.Duration
+	// BatchSize is the number of executions in batch mode (paper: 10).
+	BatchSize int
+	// Seed fixes all random choices.
+	Seed int64
+	// Isolation reloads a fresh engine before every mutating query
+	// (read queries always share the loaded instance, which they do not
+	// modify).
+	Isolation bool
+	// Progress, when non-nil, receives one line per completed step.
+	Progress io.Writer
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Engines:   engines.Names(),
+		Datasets:  []string{"frb-s", "frb-o", "frb-m", "frb-l"},
+		Scale:     0.002,
+		Timeout:   2 * time.Second,
+		BatchSize: 10,
+		Seed:      1,
+		Isolation: true,
+	}
+}
+
+// Mode distinguishes the two execution modes of Figure 1(c).
+type Mode string
+
+// Execution modes.
+const (
+	ModeInteractive Mode = "interactive"
+	ModeBatch       Mode = "batch"
+)
+
+// Measurement is one (engine, dataset, query, mode) cell.
+type Measurement struct {
+	Engine   string
+	Dataset  string
+	Query    string // "Q2".."Q35", complex names, or "Q32(d=3)" style
+	Mode     Mode
+	Elapsed  time.Duration
+	TimedOut bool
+	Failed   bool   // non-timeout error (e.g. out of memory)
+	Error    string // error text when Failed or TimedOut
+	Count    int64  // result count (validation across engines)
+}
+
+// LoadMeasurement is one (engine, dataset) load (Q1) with its space
+// occupancy (Figures 1 and 3(a)).
+type LoadMeasurement struct {
+	Engine  string
+	Dataset string
+	Elapsed time.Duration
+	Space   core.SpaceReport
+	RawJSON int64 // size of the GraphSON representation ("Raw Data")
+}
+
+// Results accumulates a full evaluation.
+type Results struct {
+	Config  Config
+	Loads   []LoadMeasurement
+	Micro   []Measurement
+	Indexed []Measurement // Q11 with an attribute index (Figure 4(c))
+	Complex []Measurement // Figure 2 workload on ldbc
+	Stats   map[string]datasets.Table3Row
+}
+
+// Runner executes the evaluation.
+type Runner struct {
+	cfg    Config
+	graphs map[string]*core.Graph
+}
+
+// NewRunner validates the config and prepares a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = engines.Names()
+	}
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = DefaultConfig().Datasets
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = DefaultConfig().Scale
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultConfig().Timeout
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 10
+	}
+	for _, e := range cfg.Engines {
+		if engines.Constructor(e) == nil {
+			return nil, fmt.Errorf("harness: unknown engine %q", e)
+		}
+	}
+	for _, d := range cfg.Datasets {
+		if datasets.ByName(d) == nil {
+			return nil, fmt.Errorf("harness: unknown dataset %q", d)
+		}
+	}
+	return &Runner{cfg: cfg, graphs: make(map[string]*core.Graph)}, nil
+}
+
+// Config returns the effective configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+func (r *Runner) progressf(format string, args ...any) {
+	if r.cfg.Progress != nil {
+		fmt.Fprintf(r.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// graph returns the (cached) dataset graph.
+func (r *Runner) graph(name string) *core.Graph {
+	if g, ok := r.graphs[name]; ok {
+		return g
+	}
+	g := datasets.ByName(name).Generate(r.cfg.Scale)
+	r.graphs[name] = g
+	return g
+}
+
+// loadInto bulk-loads a dataset into a fresh engine, measuring time.
+func (r *Runner) loadInto(engine, dataset string) (core.Engine, *core.LoadResult, time.Duration, error) {
+	e, err := engines.New(engine)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g := r.graph(dataset)
+	start := time.Now()
+	res, err := e.BulkLoad(g)
+	elapsed := time.Since(start)
+	if err != nil {
+		e.Close()
+		return nil, nil, 0, fmt.Errorf("%s on %s: load: %w", engine, dataset, err)
+	}
+	return e, res, elapsed, nil
+}
+
+// timeQuery runs one query execution under the configured timeout.
+func (r *Runner) timeQuery(e core.Engine, q *workload.Query, p workload.Params) Measurement {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := q.Run(ctx, e, p)
+	m := Measurement{Query: q.Name, Elapsed: time.Since(start), Count: res.Count}
+	classify(&m, err)
+	return m
+}
+
+func classify(m *Measurement, err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
+		m.TimedOut = true
+		m.Error = err.Error()
+	default:
+		m.Failed = true
+		m.Error = err.Error()
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/graphson"
+	"repro/internal/gremlin"
+)
+
+// TestGraphSONLoadPath exercises the paper's Q1 end to end: generate a
+// dataset, serialize it to GraphSON (the suite's common input format),
+// parse it back, bulk load the parsed graph into every engine, and
+// verify the loaded graphs answer identically to ones loaded directly.
+func TestGraphSONLoadPath(t *testing.T) {
+	g := datasets.ByName("yeast").Generate(0.05)
+	var buf bytes.Buffer
+	if err := graphson.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := graphson.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumVertices() != g.NumVertices() || parsed.NumEdges() != g.NumEdges() {
+		t.Fatalf("GraphSON round trip: %d/%d vs %d/%d",
+			parsed.NumVertices(), parsed.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	ctx := context.Background()
+	for _, name := range engines.Names() {
+		direct, err := engines.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaJSON, _ := engines.New(name)
+		if _, err := direct.BulkLoad(g); err != nil {
+			t.Fatalf("%s: direct load: %v", name, err)
+		}
+		if _, err := viaJSON.BulkLoad(parsed); err != nil {
+			t.Fatalf("%s: graphson load: %v", name, err)
+		}
+		gd, gj := gremlin.New(direct), gremlin.New(viaJSON)
+		nd, _ := gd.V().Count(ctx)
+		nj, _ := gj.V().Count(ctx)
+		ed, _ := gd.E().Count(ctx)
+		ej, _ := gj.E().Count(ctx)
+		if nd != nj || ed != ej {
+			t.Fatalf("%s: loads diverge: V %d/%d E %d/%d", name, nd, nj, ed, ej)
+		}
+		ld, _ := gd.E().DistinctLabels(ctx)
+		lj, _ := gj.E().DistinctLabels(ctx)
+		if len(ld) != len(lj) {
+			t.Fatalf("%s: label sets diverge: %d vs %d", name, len(ld), len(lj))
+		}
+		direct.Close()
+		viaJSON.Close()
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportsRenderFromRealRun(t *testing.T) {
+	res := runTiny(t)
+	for _, name := range ReportNames() {
+		var buf bytes.Buffer
+		if err := Report(res, name, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s rendered nothing", name)
+		}
+	}
+	if err := Report(res, "nope", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown report accepted")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	res := runTiny(t)
+	var buf bytes.Buffer
+	ReportFig3Load(res, &buf)
+	s := buf.String()
+	for _, want := range []string{"neo-1.9", "sqlg", "frb-s", "ldbc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig3a missing %q:\n%s", want, s)
+		}
+	}
+	buf.Reset()
+	ReportTable3(res, &buf)
+	if !strings.Contains(buf.String(), "paper") {
+		t.Error("table3 lacks paper comparison rows")
+	}
+	buf.Reset()
+	ReportFig6BFS(res, &buf)
+	if !strings.Contains(buf.String(), "Q32(d=5)") {
+		t.Error("fig6 lacks the depth sweep")
+	}
+	buf.Reset()
+	ReportFig2Complex(res, &buf)
+	if !strings.Contains(buf.String(), "friend-of-friend") {
+		t.Error("fig2 lacks complex query columns")
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	res := runTiny(t)
+	sum := Summary(res)
+	cats := Table4Categories()
+	for _, e := range res.Config.Engines {
+		row, ok := sum[e]
+		if !ok {
+			t.Fatalf("summary lacks engine %s", e)
+		}
+		for _, c := range cats {
+			if _, ok := row[c.Name]; !ok {
+				t.Fatalf("summary %s lacks category %s", e, c.Name)
+			}
+		}
+	}
+	// At least one "ok" must exist per category among engines (someone
+	// is best).
+	for _, c := range cats {
+		good := false
+		for _, e := range res.Config.Engines {
+			if sum[e][c.Name] == VerdictGood {
+				good = true
+			}
+		}
+		if !good {
+			t.Errorf("category %s has no best engine", c.Name)
+		}
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "500µs",
+		2500 * time.Microsecond: "2.5ms",
+		1500 * time.Millisecond: "1.50s",
+		90 * time.Second:        "1.5m",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

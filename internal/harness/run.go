@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graphson"
+	"repro/internal/workload"
+)
+
+// Run executes the full evaluation: Table 3 statistics, loading and
+// space (Figures 1(a,b), 3(a)), the micro workload in interactive and
+// batch mode on every engine × dataset (Figures 3–7), the indexed
+// variant of Q11 (Figure 4(c)), and — when ldbc is among the datasets —
+// the complex workload (Figure 2).
+func (r *Runner) Run() (*Results, error) {
+	out := &Results{Config: r.cfg, Stats: map[string]datasets.Table3Row{}}
+	for _, ds := range r.cfg.Datasets {
+		r.progressf("stats %s", ds)
+		out.Stats[ds] = datasets.Stats(r.graph(ds))
+	}
+	for _, ds := range r.cfg.Datasets {
+		for _, en := range r.cfg.Engines {
+			r.progressf("micro %s on %s", en, ds)
+			if err := r.runMicro(out, en, ds); err != nil {
+				return nil, err
+			}
+		}
+		if ds == "ldbc" {
+			for _, en := range r.cfg.Engines {
+				r.progressf("complex %s on ldbc", en)
+				if err := r.runComplex(out, en); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// rawJSONSize measures the GraphSON size of a dataset (the "Raw Data"
+// bar of Figure 1).
+func rawJSONSize(g *core.Graph) int64 {
+	var buf bytes.Buffer
+	if err := graphson.Write(&buf, g); err != nil {
+		return 0
+	}
+	return int64(buf.Len())
+}
+
+// queryOrder returns the micro queries with reads and traversals first
+// and destructive operations last, so shared-instance runs are not
+// perturbed; within a group, Table 2 order.
+func queryOrder() []workload.Query {
+	all := workload.Queries()
+	var reads, writes []workload.Query
+	for _, q := range all {
+		if q.Mutates {
+			writes = append(writes, q)
+		} else {
+			reads = append(reads, q)
+		}
+	}
+	return append(reads, writes...)
+}
+
+func (r *Runner) runMicro(out *Results, engine, dataset string) error {
+	g := r.graph(dataset)
+	e, res, loadTime, err := r.loadInto(engine, dataset)
+	if err != nil {
+		return err
+	}
+	out.Loads = append(out.Loads, LoadMeasurement{
+		Engine: engine, Dataset: dataset,
+		Elapsed: loadTime, Space: e.SpaceUsage(), RawJSON: rawJSONSize(g),
+	})
+	pg := NewParamGen(g, r.cfg.Seed)
+
+	record := func(m Measurement, mode Mode) {
+		m.Engine, m.Dataset, m.Mode = engine, dataset, mode
+		out.Micro = append(out.Micro, m)
+	}
+
+	for _, q := range queryOrder() {
+		q := q
+		exec := e
+		execRes := res
+		// Isolation: mutating queries run against a fresh copy so the
+		// shared instance stays pristine.
+		if q.Mutates && r.cfg.Isolation {
+			fresh, freshRes, _, err := r.loadInto(engine, dataset)
+			if err != nil {
+				return err
+			}
+			exec, execRes = fresh, freshRes
+		}
+
+		// Q32 is swept over depths 2..5 (Figure 6); everything else
+		// runs once per mode.
+		if q.Num == 32 {
+			for depth := 2; depth <= 5; depth++ {
+				pg.SetDepth(depth)
+				m := r.timeQuery(exec, &q, pg.For(&q, 0, execRes))
+				m.Query = q.Name + depthSuffix(depth)
+				record(m, ModeInteractive)
+				record(r.batch(exec, &q, pg, execRes), ModeBatch)
+			}
+			pg.SetDepth(2)
+		} else {
+			record(r.timeQuery(exec, &q, pg.For(&q, 0, execRes)), ModeInteractive)
+			record(r.batch(exec, &q, pg, execRes), ModeBatch)
+		}
+
+		if exec != e {
+			exec.Close()
+		}
+	}
+
+	// Figure 4(c): Q11 with a user attribute index.
+	if err := r.runIndexed(out, engine, dataset, pg); err != nil {
+		return err
+	}
+	e.Close()
+	return nil
+}
+
+func depthSuffix(d int) string {
+	return "(d=" + string(rune('0'+d)) + ")"
+}
+
+// batch executes BatchSize iterations and reports the total time; one
+// timeout or failure marks the whole batch, as in Figure 1(c).
+func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core.LoadResult) Measurement {
+	total := Measurement{Query: q.Name}
+	if q.Num == 32 {
+		total.Query = q.Name + depthSuffix(pg.depth)
+	}
+	start := time.Now()
+	deadline := time.Now().Add(r.cfg.Timeout * time.Duration(r.cfg.BatchSize))
+	for i := 0; i < r.cfg.BatchSize; i++ {
+		iter := i
+		if q.Mutates {
+			// The interactive execution already consumed pool slot 0 on
+			// this instance; destructive batch iterations must target
+			// fresh objects.
+			iter = i + 1
+		}
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		res2, err := q.Run(ctx, e, pg.For(q, iter, res))
+		cancel()
+		total.Count = res2.Count
+		if err != nil {
+			classify(&total, err)
+			break
+		}
+	}
+	total.Elapsed = time.Since(start)
+	return total
+}
+
+// runIndexed builds the attribute index on the Q11 property and re-runs
+// Q11 (Figure 4(c)). Engines without user indexes (BlazeGraph) are
+// skipped, engines that accept but ignore the index (Sparksee,
+// ArangoDB) run unchanged — both as the paper found.
+func (r *Runner) runIndexed(out *Results, engine, dataset string, pg *ParamGen) error {
+	e, res, _, err := r.loadInto(engine, dataset)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	if err := e.BuildVertexPropIndex(pg.vPropName); err != nil {
+		if err == core.ErrUnsupported {
+			return nil
+		}
+		return err
+	}
+	q := workload.ByName("Q11")
+	m := r.timeQuery(e, q, pg.For(q, 0, res))
+	m.Engine, m.Dataset, m.Mode = engine, dataset, ModeInteractive
+	m.Query = "Q11(idx)"
+	out.Indexed = append(out.Indexed, m)
+
+	// Index maintenance overhead (Section 6.4: with indexes, CUD slows
+	// by ~10%, up to ~30% for Neo 3.0 and ~100% for OrientDB): re-run
+	// the property-insertion query against the indexed property.
+	q5 := workload.ByName("Q5")
+	p5 := pg.For(q5, 1, res)
+	p5.NewPropName = pg.vPropName
+	m5 := r.timeQuery(e, q5, p5)
+	m5.Engine, m5.Dataset, m5.Mode = engine, dataset, ModeInteractive
+	m5.Query = "Q5(idx)"
+	out.Indexed = append(out.Indexed, m5)
+	return nil
+}
+
+// runComplex executes the 13 LDBC-derived queries (Figure 2) on ldbc.
+func (r *Runner) runComplex(out *Results, engine string) error {
+	g := r.graph("ldbc")
+	e, res, _, err := r.loadInto(engine, "ldbc")
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	cp := ComplexFor(g, r.cfg.Seed, res)
+	for _, cq := range workload.ComplexQueries() {
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+		start := time.Now()
+		res2, err := cq.Run(ctx, e, cp)
+		m := Measurement{
+			Engine: engine, Dataset: "ldbc", Query: cq.Name,
+			Mode: ModeInteractive, Elapsed: time.Since(start), Count: res2.Count,
+		}
+		classify(&m, err)
+		cancel()
+		out.Complex = append(out.Complex, m)
+	}
+	return nil
+}

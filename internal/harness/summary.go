@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Table4Category groups micro queries as in the columns of Table 4.
+type Table4Category struct {
+	Name    string
+	Queries []string
+}
+
+// Table4Categories returns the paper's Table 4 columns, mapped to the
+// query numbers each one aggregates.
+func Table4Categories() []Table4Category {
+	return []Table4Category{
+		{"Load", nil}, // special-cased: uses load measurements
+		{"Insertions", []string{"Q2", "Q3", "Q4", "Q5", "Q6", "Q7"}},
+		{"GraphStatistics", []string{"Q8", "Q9", "Q10"}},
+		{"SearchPropLabel", []string{"Q11", "Q12", "Q13"}},
+		{"SearchById", []string{"Q14", "Q15"}},
+		{"Updates", []string{"Q16", "Q17"}},
+		{"DeleteNode", []string{"Q18"}},
+		{"OtherDeletions", []string{"Q19", "Q20", "Q21"}},
+		{"Neighbors", []string{"Q22", "Q23", "Q24"}},
+		{"NodeEdgeLabels", []string{"Q25", "Q26", "Q27"}},
+		{"DegreeFilter", []string{"Q28", "Q29", "Q30", "Q31"}},
+		{"BFS", []string{"Q32(d=2)", "Q32(d=3)", "Q32(d=4)", "Q32(d=5)", "Q33"}},
+		{"ShortestPath", []string{"Q34", "Q35"}},
+	}
+}
+
+// Verdict is a Table 4 cell.
+type Verdict string
+
+// Table 4 symbols: best or near-best, unremarkable, problematic.
+const (
+	VerdictGood  Verdict = "ok"
+	VerdictMid   Verdict = ""
+	VerdictWarn  Verdict = "warn"
+	VerdictUnrun Verdict = "-"
+)
+
+// goodFactor and warnFactor classify an engine by its geometric-mean
+// slowdown against the category's best engine.
+const (
+	goodFactor = 3.0
+	warnFactor = 30.0
+)
+
+// Summary derives the Table 4 matrix from the measurements: an engine
+// earns "ok" in a category when its geometric mean latency is within
+// goodFactor of the best engine's, and "warn" when it exceeds
+// warnFactor or produced any timeout/failure in that category.
+func Summary(res *Results) map[string]map[string]Verdict {
+	cats := Table4Categories()
+	out := map[string]map[string]Verdict{}
+	for _, e := range res.Config.Engines {
+		out[e] = map[string]Verdict{}
+	}
+
+	// Load category from the load measurements.
+	loadTimes := map[string]time.Duration{}
+	var bestLoad time.Duration
+	for _, e := range res.Config.Engines {
+		var ds []time.Duration
+		for _, l := range res.Loads {
+			if l.Engine == e {
+				ds = append(ds, l.Elapsed)
+			}
+		}
+		g := geomean(ds)
+		loadTimes[e] = g
+		if g > 0 && (bestLoad == 0 || g < bestLoad) {
+			bestLoad = g
+		}
+	}
+	for _, e := range res.Config.Engines {
+		out[e]["Load"] = classifyFactor(loadTimes[e], bestLoad, false)
+	}
+
+	// Query categories.
+	type agg struct {
+		times []time.Duration
+		bad   bool
+		seen  bool
+	}
+	for _, cat := range cats[1:] {
+		inCat := map[string]bool{}
+		for _, q := range cat.Queries {
+			inCat[q] = true
+		}
+		perEngine := map[string]*agg{}
+		for _, e := range res.Config.Engines {
+			perEngine[e] = &agg{}
+		}
+		for _, m := range res.Micro {
+			if m.Mode != ModeInteractive || !inCat[m.Query] {
+				continue
+			}
+			a := perEngine[m.Engine]
+			if a == nil {
+				continue
+			}
+			a.seen = true
+			if m.TimedOut || m.Failed {
+				a.bad = true
+				continue
+			}
+			a.times = append(a.times, m.Elapsed)
+		}
+		var best time.Duration
+		for _, a := range perEngine {
+			if g := geomean(a.times); g > 0 && (best == 0 || g < best) {
+				best = g
+			}
+		}
+		for _, e := range res.Config.Engines {
+			a := perEngine[e]
+			switch {
+			case !a.seen:
+				out[e][cat.Name] = VerdictUnrun
+			case a.bad:
+				out[e][cat.Name] = VerdictWarn
+			default:
+				out[e][cat.Name] = classifyFactor(geomean(a.times), best, false)
+			}
+		}
+	}
+	return out
+}
+
+func classifyFactor(g, best time.Duration, bad bool) Verdict {
+	switch {
+	case bad:
+		return VerdictWarn
+	case g == 0 || best == 0:
+		return VerdictUnrun
+	case float64(g) <= goodFactor*float64(best):
+		return VerdictGood
+	case float64(g) >= warnFactor*float64(best):
+		return VerdictWarn
+	default:
+		return VerdictMid
+	}
+}
+
+// ReportTable4 renders the summary matrix (Table 4): "ok" is the
+// paper's check mark, "warn" its warning sign.
+func ReportTable4(res *Results, w io.Writer) {
+	sum := Summary(res)
+	cats := Table4Categories()
+	fmt.Fprintln(w, "Table 4: evaluation summary (ok = best or near-best; warn = low end or execution problems)")
+	fmt.Fprintf(w, "%-12s", "engine")
+	for _, c := range cats {
+		fmt.Fprintf(w, " %-15s", c.Name)
+	}
+	fmt.Fprintln(w)
+	for _, e := range res.Config.Engines {
+		fmt.Fprintf(w, "%-12s", e)
+		for _, c := range cats {
+			fmt.Fprintf(w, " %-15s", string(sum[e][c.Name]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// ReportAll renders every table and figure in paper order.
+func ReportAll(res *Results, w io.Writer) {
+	ReportTable1(w)
+	ReportTable2(w)
+	ReportTable3(res, w)
+	ReportFig1Space(res, w)
+	ReportFig1cTimeouts(res, w)
+	if len(res.Complex) > 0 {
+		ReportFig2Complex(res, w)
+	}
+	ReportFig3Load(res, w)
+	ReportFig3Insert(res, w)
+	ReportFig3UpdateDelete(res, w)
+	ReportFig4Select(res, w)
+	ReportFig4ByID(res, w)
+	ReportFig4cIndex(res, w)
+	ReportFig5Local(res, w)
+	ReportFig5Degree(res, w)
+	ReportFig6BFS(res, w)
+	ReportFig7SP(res, w)
+	ReportFig7Overall(res, w)
+	ReportTable4(res, w)
+	ReportShapes(res, w)
+}
+
+// Report renders one named report; see ReportNames.
+func Report(res *Results, name string, w io.Writer) error {
+	fns := map[string]func(){
+		"table1": func() { ReportTable1(w) },
+		"table2": func() { ReportTable2(w) },
+		"table3": func() { ReportTable3(res, w) },
+		"fig1":   func() { ReportFig1Space(res, w) },
+		"fig1c":  func() { ReportFig1cTimeouts(res, w) },
+		"fig2":   func() { ReportFig2Complex(res, w) },
+		"fig3a":  func() { ReportFig3Load(res, w) },
+		"fig3b":  func() { ReportFig3Insert(res, w) },
+		"fig3c":  func() { ReportFig3UpdateDelete(res, w) },
+		"fig4a":  func() { ReportFig4Select(res, w) },
+		"fig4b":  func() { ReportFig4ByID(res, w) },
+		"fig4c":  func() { ReportFig4cIndex(res, w) },
+		"fig5a":  func() { ReportFig5Local(res, w) },
+		"fig5b":  func() { ReportFig5Degree(res, w) },
+		"fig6":   func() { ReportFig6BFS(res, w) },
+		"fig7":   func() { ReportFig7SP(res, w) },
+		"fig7cd": func() { ReportFig7Overall(res, w) },
+		"table4": func() { ReportTable4(res, w) },
+		"shapes": func() { ReportShapes(res, w) },
+		"all":    func() { ReportAll(res, w) },
+	}
+	fn, ok := fns[name]
+	if !ok {
+		return fmt.Errorf("harness: unknown report %q (known: %v)", name, ReportNames())
+	}
+	fn()
+	return nil
+}
+
+// ReportNames lists the available reports.
+func ReportNames() []string {
+	return []string{
+		"table1", "table2", "table3", "fig1", "fig1c", "fig2",
+		"fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
+		"fig5a", "fig5b", "fig6", "fig7", "fig7cd", "table4",
+		"shapes", "all",
+	}
+}

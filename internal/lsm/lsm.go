@@ -1,0 +1,359 @@
+// Package lsm implements a log-structured merge store: an in-memory
+// memtable that flushes into immutable sorted runs (SSTables), deletes
+// as tombstones, size-tiered compaction, and an optional row cache.
+//
+// It stands in for the Cassandra backend under the Titan-style engine.
+// The behaviours the paper observes all live here: writes are cheap but
+// pass through serialization and flush machinery; deletes are *faster*
+// than in the other engines because a tombstone write suffices (the
+// paper's "tombstone mechanism" note on Titan); reads must consult the
+// memtable plus every run (newest wins); and the v1.0 row cache makes
+// repeated complex queries look better than the micro-benchmarks say.
+package lsm
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/btree"
+)
+
+// Options configure a Store.
+type Options struct {
+	// FlushBytes is the memtable payload size that triggers a flush.
+	FlushBytes int64
+	// CompactAt is the number of runs that triggers a full compaction.
+	CompactAt int
+	// CachePrefixLen enables the row cache when > 0: ScanPrefix results
+	// for prefixes of exactly this length are cached until a write
+	// touches the row.
+	CachePrefixLen int
+}
+
+// DefaultOptions are sized for benchmark workloads.
+func DefaultOptions() Options {
+	return Options{FlushBytes: 1 << 20, CompactAt: 8}
+}
+
+type sstable struct {
+	keys  [][]byte
+	vals  [][]byte // nil value = tombstone
+	bytes int64
+}
+
+func (t *sstable) get(key []byte) (val []byte, found bool) {
+	i := sort.Search(len(t.keys), func(i int) bool { return bytes.Compare(t.keys[i], key) >= 0 })
+	if i < len(t.keys) && bytes.Equal(t.keys[i], key) {
+		return t.vals[i], true
+	}
+	return nil, false
+}
+
+// Store is an LSM key-value store. Not safe for concurrent writes.
+type Store struct {
+	opts     Options
+	mem      *btree.Tree
+	memBytes int64
+	runs     []*sstable // newest last
+	flushes  int
+	compacts int
+
+	cache map[string][]kv
+	hits  int
+	miss  int
+}
+
+type kv struct{ k, v []byte }
+
+// tombstone is the memtable marker for deletion; SSTables use nil vals.
+var tombstone = []byte{}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = DefaultOptions().FlushBytes
+	}
+	if opts.CompactAt <= 0 {
+		opts.CompactAt = DefaultOptions().CompactAt
+	}
+	s := &Store{opts: opts, mem: btree.New()}
+	if opts.CachePrefixLen > 0 {
+		s.cache = make(map[string][]kv)
+	}
+	return s
+}
+
+func (s *Store) invalidate(key []byte) {
+	if s.cache == nil {
+		return
+	}
+	if len(key) >= s.opts.CachePrefixLen {
+		delete(s.cache, string(key[:s.opts.CachePrefixLen]))
+	}
+}
+
+// Put writes key→value.
+func (s *Store) Put(key, value []byte) {
+	if value == nil {
+		value = []byte{}
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	s.mem.Put(k, append(v, 1)) // trailing live marker
+	s.memBytes += int64(len(k) + len(v) + 1)
+	s.invalidate(key)
+	s.maybeFlush()
+}
+
+// Delete writes a tombstone for key.
+func (s *Store) Delete(key []byte) {
+	k := append([]byte(nil), key...)
+	s.mem.Put(k, []byte{0}) // tombstone marker
+	s.memBytes += int64(len(k) + 1)
+	s.invalidate(key)
+	s.maybeFlush()
+}
+
+func decodeMem(v []byte) (val []byte, tomb bool) {
+	if len(v) == 0 || v[len(v)-1] == 0 {
+		return nil, true
+	}
+	return v[:len(v)-1], false
+}
+
+// Get returns the newest value for key; ok is false if absent or
+// tombstoned. The read path is memtable first, then runs newest→oldest.
+func (s *Store) Get(key []byte) (value []byte, ok bool) {
+	if v, found := s.mem.Get(key); found {
+		val, tomb := decodeMem(v)
+		return val, !tomb
+	}
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		if v, found := s.runs[i].get(key); found {
+			return v, v != nil
+		}
+	}
+	return nil, false
+}
+
+func (s *Store) maybeFlush() {
+	if s.memBytes >= s.opts.FlushBytes {
+		s.Flush()
+	}
+}
+
+// Flush turns the memtable into a new immutable run.
+func (s *Store) Flush() {
+	if s.mem.Len() == 0 {
+		return
+	}
+	t := &sstable{}
+	c := s.mem.Scan()
+	for {
+		k, v, ok := c.Next()
+		if !ok {
+			break
+		}
+		val, tomb := decodeMem(v)
+		t.keys = append(t.keys, k)
+		if tomb {
+			t.vals = append(t.vals, nil)
+		} else {
+			t.vals = append(t.vals, val)
+		}
+		t.bytes += int64(len(k)+len(val)) + 6
+	}
+	s.runs = append(s.runs, t)
+	s.mem = btree.New()
+	s.memBytes = 0
+	s.flushes++
+	if len(s.runs) >= s.opts.CompactAt {
+		s.Compact()
+	}
+}
+
+// Compact merges all runs into one, dropping shadowed entries and — as
+// this is a full merge — tombstones as well.
+func (s *Store) Compact() {
+	if len(s.runs) <= 1 {
+		return
+	}
+	merged := &sstable{}
+	type cursor struct {
+		t *sstable
+		i int
+	}
+	cs := make([]cursor, len(s.runs))
+	for i, t := range s.runs {
+		cs[i] = cursor{t, 0}
+	}
+	for {
+		// Find the smallest current key; runs are ordered oldest→newest,
+		// so on key ties the higher index (newer run) wins.
+		best := -1
+		for i := range cs {
+			if cs[i].i >= len(cs[i].t.keys) {
+				continue
+			}
+			if best < 0 || bytes.Compare(cs[i].t.keys[cs[i].i], cs[best].t.keys[cs[best].i]) <= 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		key := cs[best].t.keys[cs[best].i]
+		val := cs[best].t.vals[cs[best].i]
+		for i := range cs {
+			for cs[i].i < len(cs[i].t.keys) && bytes.Equal(cs[i].t.keys[cs[i].i], key) {
+				cs[i].i++
+			}
+		}
+		if val == nil {
+			continue // tombstone resolved by full compaction
+		}
+		merged.keys = append(merged.keys, key)
+		merged.vals = append(merged.vals, val)
+		merged.bytes += int64(len(key)+len(val)) + 6
+	}
+	s.runs = []*sstable{merged}
+	s.compacts++
+}
+
+// ScanPrefix streams live key/value pairs whose key starts with prefix,
+// in key order, with newest-wins/tombstone semantics across the memtable
+// and all runs. If the row cache is enabled and the prefix length
+// matches, results are served from and stored into the cache.
+func (s *Store) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) {
+	if s.cache != nil && len(prefix) == s.opts.CachePrefixLen {
+		if row, ok := s.cache[string(prefix)]; ok {
+			s.hits++
+			for _, p := range row {
+				if !fn(p.k, p.v) {
+					return
+				}
+			}
+			return
+		}
+		s.miss++
+		var row []kv
+		s.scanPrefixMerged(prefix, func(k, v []byte) bool {
+			row = append(row, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+		s.cache[string(prefix)] = row
+		for _, p := range row {
+			if !fn(p.k, p.v) {
+				return
+			}
+		}
+		return
+	}
+	s.scanPrefixMerged(prefix, fn)
+}
+
+func (s *Store) scanPrefixMerged(prefix []byte, fn func(key, value []byte) bool) {
+	// Cursor over memtable + each run, merged newest-wins.
+	type src struct {
+		key, val []byte
+		tomb     bool
+		ok       bool
+		advance  func() ([]byte, []byte, bool, bool)
+	}
+	var srcs []*src // index 0 = memtable (newest), then runs newest→oldest
+
+	memCursor := s.mem.Seek(prefix)
+	memAdv := func() ([]byte, []byte, bool, bool) {
+		k, v, ok := memCursor.Next()
+		if !ok || !bytes.HasPrefix(k, prefix) {
+			return nil, nil, false, false
+		}
+		val, tomb := decodeMem(v)
+		return k, val, tomb, true
+	}
+	srcs = append(srcs, &src{advance: memAdv})
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		t := s.runs[i]
+		pos := sort.Search(len(t.keys), func(j int) bool { return bytes.Compare(t.keys[j], prefix) >= 0 })
+		tt := t
+		p := pos
+		adv := func() ([]byte, []byte, bool, bool) {
+			if p >= len(tt.keys) || !bytes.HasPrefix(tt.keys[p], prefix) {
+				return nil, nil, false, false
+			}
+			k, v := tt.keys[p], tt.vals[p]
+			p++
+			return k, v, v == nil, true
+		}
+		srcs = append(srcs, &src{advance: adv})
+	}
+	for _, c := range srcs {
+		c.key, c.val, c.tomb, c.ok = c.advance()
+	}
+	for {
+		best := -1
+		for i, c := range srcs {
+			if !c.ok {
+				continue
+			}
+			if best < 0 || bytes.Compare(c.key, srcs[best].key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		key, val, tomb := srcs[best].key, srcs[best].val, srcs[best].tomb
+		for _, c := range srcs {
+			for c.ok && bytes.Equal(c.key, key) {
+				c.key, c.val, c.tomb, c.ok = c.advance()
+			}
+		}
+		if tomb {
+			continue
+		}
+		if !fn(key, val) {
+			return
+		}
+	}
+}
+
+// BulkLoad replaces the store contents with the given pairs (sorted,
+// unique keys) as a single run — the "disable consistency checks and
+// write straight to the backend" load path.
+func (s *Store) BulkLoad(keys, vals [][]byte) error {
+	t := &sstable{keys: keys, vals: vals}
+	for i := range keys {
+		if i > 0 && bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			return errNotSorted
+		}
+		t.bytes += int64(len(keys[i])+len(vals[i])) + 6
+	}
+	s.mem = btree.New()
+	s.memBytes = 0
+	s.runs = []*sstable{t}
+	if s.cache != nil {
+		s.cache = make(map[string][]kv)
+	}
+	return nil
+}
+
+var errNotSorted = bulkErr("lsm: BulkLoad keys not strictly ascending")
+
+type bulkErr string
+
+func (e bulkErr) Error() string { return string(e) }
+
+// Stats expose internals for tests and reports.
+func (s *Store) Stats() (flushes, compacts, runs, cacheHits, cacheMisses int) {
+	return s.flushes, s.compacts, len(s.runs), s.hits, s.miss
+}
+
+// Bytes returns the approximate footprint of memtable plus runs.
+func (s *Store) Bytes() int64 {
+	n := s.mem.Bytes()
+	for _, t := range s.runs {
+		n += t.bytes
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+package pagefile
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreAllocWriteRead(t *testing.T) {
+	s := NewStore(16)
+	a := s.Alloc()
+	b := s.Alloc()
+	if a == b {
+		t.Fatalf("Alloc returned duplicate id %d", a)
+	}
+	ra, _ := s.Record(a)
+	copy(ra, "hello")
+	rb, _ := s.Record(b)
+	copy(rb, "world")
+	ra2, ok := s.Record(a)
+	if !ok || !bytes.HasPrefix(ra2, []byte("hello")) {
+		t.Fatalf("record a corrupted: %q", ra2)
+	}
+	if len(ra2) != 16 {
+		t.Fatalf("record view length %d", len(ra2))
+	}
+}
+
+func TestStoreFreeReuseZeroes(t *testing.T) {
+	s := NewStore(8)
+	a := s.Alloc()
+	r, _ := s.Record(a)
+	copy(r, "AAAAAAAA")
+	s.Free(a)
+	if s.InUse(a) {
+		t.Fatalf("freed record still in use")
+	}
+	if _, ok := s.Record(a); ok {
+		t.Fatalf("freed record readable")
+	}
+	b := s.Alloc()
+	if b != a {
+		t.Fatalf("freelist not reused: got %d want %d", b, a)
+	}
+	rb, _ := s.Record(b)
+	for _, c := range rb {
+		if c != 0 {
+			t.Fatalf("reused record not zeroed: %v", rb)
+		}
+	}
+}
+
+func TestStoreHighWaterIsFileSize(t *testing.T) {
+	s := NewStore(32)
+	ids := make([]int64, 10)
+	for i := range ids {
+		ids[i] = s.Alloc()
+	}
+	for _, id := range ids[:5] {
+		s.Free(id)
+	}
+	if s.Live() != 5 || s.HighWater() != 10 {
+		t.Fatalf("live=%d highwater=%d", s.Live(), s.HighWater())
+	}
+	if s.Bytes() < 10*32 {
+		t.Fatalf("Bytes=%d must include freed slots", s.Bytes())
+	}
+}
+
+func TestStoreScanLive(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 6; i++ {
+		s.Alloc()
+	}
+	s.Free(1)
+	s.Free(3)
+	var got []int64
+	s.ScanLive(func(id int64) bool { got = append(got, id); return true })
+	want := []int64{0, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	n := 0
+	s.ScanLive(func(int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestStoreInvalidIDs(t *testing.T) {
+	s := NewStore(4)
+	if _, ok := s.Record(-1); ok {
+		t.Fatal("negative id readable")
+	}
+	if _, ok := s.Record(99); ok {
+		t.Fatal("out of range id readable")
+	}
+	s.Free(-3) // must not panic
+	s.Free(99)
+}
+
+func TestHeapAppendReadDelete(t *testing.T) {
+	h := NewHeap()
+	o1 := h.Append([]byte("first"))
+	o2 := h.Append([]byte("second record"))
+	if r, ok := h.Read(o1); !ok || string(r) != "first" {
+		t.Fatalf("Read(o1) = %q %v", r, ok)
+	}
+	if r, ok := h.Read(o2); !ok || string(r) != "second record" {
+		t.Fatalf("Read(o2) = %q %v", r, ok)
+	}
+	h.Delete(o1)
+	if h.DeadBytes() == 0 || h.Live() != 1 {
+		t.Fatalf("dead=%d live=%d", h.DeadBytes(), h.Live())
+	}
+	if h.Bytes() < int64(len("first")+len("second record")) {
+		t.Fatalf("heap shrank on delete (append-only expected)")
+	}
+}
+
+func TestHeapUpdateRelocates(t *testing.T) {
+	h := NewHeap()
+	o := h.Append([]byte("v1"))
+	o2 := h.Update(o, []byte("version-two"))
+	if o2 == o {
+		t.Fatalf("update did not relocate")
+	}
+	if r, ok := h.Read(o2); !ok || string(r) != "version-two" {
+		t.Fatalf("relocated read = %q %v", r, ok)
+	}
+}
+
+func TestHeapReadOutOfRange(t *testing.T) {
+	h := NewHeap()
+	if _, ok := h.Read(0); ok {
+		t.Fatal("empty heap readable")
+	}
+	h.Append([]byte("x"))
+	if _, ok := h.Read(1000); ok {
+		t.Fatal("far offset readable")
+	}
+	if _, ok := h.Read(-1); ok {
+		t.Fatal("negative offset readable")
+	}
+}
+
+func TestPositionMapLifecycle(t *testing.T) {
+	m := NewPositionMap()
+	l1 := m.Add(100)
+	l2 := m.Add(200)
+	if p, ok := m.Get(l1); !ok || p != 100 {
+		t.Fatalf("Get(l1) = %d %v", p, ok)
+	}
+	if !m.Move(l1, 300) {
+		t.Fatal("Move failed")
+	}
+	if p, _ := m.Get(l1); p != 300 {
+		t.Fatalf("moved position = %d", p)
+	}
+	if !m.Free(l2) || m.Free(l2) {
+		t.Fatal("Free semantics wrong")
+	}
+	if _, ok := m.Get(l2); ok {
+		t.Fatal("freed logical position resolvable")
+	}
+	if m.Live() != 1 || m.Len() != 2 {
+		t.Fatalf("live=%d len=%d", m.Live(), m.Len())
+	}
+	var seen []int64
+	m.ScanLive(func(l int64) bool { seen = append(seen, l); return true })
+	if len(seen) != 1 || seen[0] != l1 {
+		t.Fatalf("ScanLive = %v", seen)
+	}
+}
+
+// TestQuickHeapRoundTrip: whatever is appended is readable verbatim at
+// the returned offset, regardless of interleaved appends.
+func TestQuickHeapRoundTrip(t *testing.T) {
+	f := func(recs [][]byte) bool {
+		h := NewHeap()
+		offs := make([]int64, len(recs))
+		for i, r := range recs {
+			offs[i] = h.Append(r)
+		}
+		for i, r := range recs {
+			got, ok := h.Read(offs[i])
+			if !ok || !bytes.Equal(got, r) {
+				return false
+			}
+		}
+		return h.Live() == int64(len(recs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStoreAllocFreeInvariant: live count equals allocs minus frees
+// and all live records are readable.
+func TestQuickStoreAllocFreeInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := NewStore(8)
+		var ids []int64
+		for _, alloc := range ops {
+			if alloc || len(ids) == 0 {
+				ids = append(ids, s.Alloc())
+			} else {
+				s.Free(ids[len(ids)-1])
+				ids = ids[:len(ids)-1]
+			}
+		}
+		if s.Live() != int64(len(ids)) {
+			return false
+		}
+		for _, id := range ids {
+			if _, ok := s.Record(id); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
