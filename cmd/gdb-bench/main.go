@@ -11,6 +11,8 @@
 //	-timeout   per-query timeout (default 2s; the paper used 2h at full scale)
 //	-batch     batch size (default 10, as in the paper)
 //	-seed      random seed for parameter selection
+//	-workers   parallel grid workers (default: all CPUs; results are
+//	           identical for any worker count)
 //	-report    which report to print: all, table1..4, fig1..fig7cd (default all)
 //	-list      list engines, datasets and reports, then exit
 //	-v         print progress to stderr
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +44,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-query timeout")
 		batch       = flag.Int("batch", 10, "batch mode size")
 		seed        = flag.Int64("seed", 1, "random seed for parameter selection")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers")
 		report      = flag.String("report", "all", "report to print ("+strings.Join(harness.ReportNames(), ", ")+")")
 		exportJSON  = flag.String("export-json", "", "also write raw results as JSON to this file")
 		exportCSV   = flag.String("export-csv", "", "also write raw results as CSV to this file")
@@ -63,6 +67,7 @@ func main() {
 		Timeout:   *timeout,
 		BatchSize: *batch,
 		Seed:      *seed,
+		Workers:   *workers,
 		Isolation: true,
 	}
 	if *engineList != "" {

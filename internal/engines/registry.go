@@ -6,6 +6,7 @@ package engines
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engines/arango"
@@ -30,6 +31,10 @@ var names = []string{
 	"titan-1.0",
 }
 
+// mu guards names and registry: the harness resolves constructors from
+// concurrent grid workers, and Register may add entries at any time.
+var mu sync.RWMutex
+
 var registry = map[string]core.Constructor{
 	"arango":    func() core.Engine { return arango.New() },
 	"blaze":     func() core.Engine { return blaze.New() },
@@ -43,11 +48,46 @@ var registry = map[string]core.Constructor{
 }
 
 // Names returns the registered configuration names in listing order.
-func Names() []string { return append([]string(nil), names...) }
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]string(nil), names...)
+}
+
+// Register adds (or replaces) a configuration under name — the hook
+// for experimental engines and for test doubles such as harness DNF
+// fixtures. It returns a function that undoes the registration,
+// restoring any constructor it replaced.
+func Register(name string, c core.Constructor) (unregister func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	old, replaced := registry[name]
+	registry[name] = c
+	if !replaced {
+		names = append(names, name)
+	}
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if replaced {
+			registry[name] = old
+			return
+		}
+		delete(registry, name)
+		for i, n := range names {
+			if n == name {
+				names = append(names[:i], names[i+1:]...)
+				break
+			}
+		}
+	}
+}
 
 // New builds a fresh engine by name.
 func New(name string) (core.Engine, error) {
+	mu.RLock()
 	c, ok := registry[name]
+	mu.RUnlock()
 	if !ok {
 		known := Names()
 		sort.Strings(known)
@@ -57,13 +97,21 @@ func New(name string) (core.Engine, error) {
 }
 
 // Constructor returns the named constructor, or nil.
-func Constructor(name string) core.Constructor { return registry[name] }
+func Constructor(name string) core.Constructor {
+	mu.RLock()
+	defer mu.RUnlock()
+	return registry[name]
+}
 
 // ForEach calls fn with a fresh instance of every registered engine,
 // closing each afterwards. It stops at the first error.
 func ForEach(fn func(e core.Engine) error) error {
-	for _, n := range names {
-		e := registry[n]()
+	for _, n := range Names() {
+		c := Constructor(n)
+		if c == nil {
+			continue
+		}
+		e := c()
 		err := fn(e)
 		e.Close()
 		if err != nil {

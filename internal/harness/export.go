@@ -43,7 +43,8 @@ func ExportCSV(res *Results, w io.Writer) error {
 	}
 	for _, l := range res.Loads {
 		rec := []string{l.Engine, l.Dataset, "Q1", string(ModeInteractive),
-			strconv.FormatInt(l.Elapsed.Microseconds(), 10), "false", "false",
+			strconv.FormatInt(l.Elapsed.Microseconds(), 10), "false",
+			strconv.FormatBool(l.Failed),
 			strconv.FormatInt(l.Space.Total, 10)}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -40,6 +42,14 @@ type Config struct {
 	// (read queries always share the loaded instance, which they do not
 	// modify).
 	Isolation bool
+	// Workers bounds the number of grid cells — (engine, dataset) micro
+	// cells plus indexed and complex cells — evaluated concurrently.
+	// Zero or negative means runtime.NumCPU(). Results are assembled in
+	// the same order regardless of the worker count.
+	Workers int
+	// ErrorsFatal aborts the run on the first engine construction or
+	// load error instead of recording the cell as DNF and continuing.
+	ErrorsFatal bool
 	// Progress, when non-nil, receives one line per completed step.
 	Progress io.Writer
 }
@@ -54,6 +64,7 @@ func DefaultConfig() Config {
 		BatchSize: 10,
 		Seed:      1,
 		Isolation: true,
+		Workers:   runtime.NumCPU(),
 	}
 }
 
@@ -80,13 +91,17 @@ type Measurement struct {
 }
 
 // LoadMeasurement is one (engine, dataset) load (Q1) with its space
-// occupancy (Figures 1 and 3(a)).
+// occupancy (Figures 1 and 3(a)). A load that did not finish — engine
+// construction or bulk-load error — is recorded with Failed set, the
+// paper's DNF, and leaves every dependent cell DNF too.
 type LoadMeasurement struct {
 	Engine  string
 	Dataset string
 	Elapsed time.Duration
 	Space   core.SpaceReport
 	RawJSON int64 // size of the GraphSON representation ("Raw Data")
+	Failed  bool
+	Error   string
 }
 
 // Results accumulates a full evaluation.
@@ -101,8 +116,24 @@ type Results struct {
 
 // Runner executes the evaluation.
 type Runner struct {
-	cfg    Config
-	graphs map[string]*core.Graph
+	cfg Config
+
+	mu     sync.Mutex // guards graphs and Progress writes
+	graphs map[string]*datasetCache
+
+	// now and since default to the real clock; tests substitute a frozen
+	// clock so two runs produce byte-identical exports.
+	now   func() time.Time
+	since func(time.Time) time.Duration
+}
+
+// datasetCache generates a dataset graph (and its GraphSON raw size,
+// the "Raw Data" bar of Figure 1) exactly once; after Do the fields are
+// read-only and safe to share across worker goroutines.
+type datasetCache struct {
+	once    sync.Once
+	g       *core.Graph
+	rawJSON int64
 }
 
 // NewRunner validates the config and prepares a runner.
@@ -132,7 +163,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, fmt.Errorf("harness: unknown dataset %q", d)
 		}
 	}
-	return &Runner{cfg: cfg, graphs: make(map[string]*core.Graph)}, nil
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	return &Runner{
+		cfg:    cfg,
+		graphs: make(map[string]*datasetCache),
+		now:    time.Now,
+		since:  time.Since,
+	}, nil
 }
 
 // Config returns the effective configuration.
@@ -140,19 +179,33 @@ func (r *Runner) Config() Config { return r.cfg }
 
 func (r *Runner) progressf(format string, args ...any) {
 	if r.cfg.Progress != nil {
+		r.mu.Lock()
 		fmt.Fprintf(r.cfg.Progress, format+"\n", args...)
+		r.mu.Unlock()
 	}
 }
 
-// graph returns the (cached) dataset graph.
-func (r *Runner) graph(name string) *core.Graph {
-	if g, ok := r.graphs[name]; ok {
-		return g
+// dataset returns the cache entry for a dataset, generating the graph
+// and its GraphSON raw size on first use. Concurrent callers block on
+// the entry's Once, so each graph is generated exactly once and shared
+// read-only afterwards.
+func (r *Runner) dataset(name string) *datasetCache {
+	r.mu.Lock()
+	c, ok := r.graphs[name]
+	if !ok {
+		c = &datasetCache{}
+		r.graphs[name] = c
 	}
-	g := datasets.ByName(name).Generate(r.cfg.Scale)
-	r.graphs[name] = g
-	return g
+	r.mu.Unlock()
+	c.once.Do(func() {
+		c.g = datasets.ByName(name).Generate(r.cfg.Scale)
+		c.rawJSON = rawJSONSize(c.g)
+	})
+	return c
 }
+
+// graph returns the (cached) dataset graph.
+func (r *Runner) graph(name string) *core.Graph { return r.dataset(name).g }
 
 // loadInto bulk-loads a dataset into a fresh engine, measuring time.
 func (r *Runner) loadInto(engine, dataset string) (core.Engine, *core.LoadResult, time.Duration, error) {
@@ -161,9 +214,9 @@ func (r *Runner) loadInto(engine, dataset string) (core.Engine, *core.LoadResult
 		return nil, nil, 0, err
 	}
 	g := r.graph(dataset)
-	start := time.Now()
+	start := r.now()
 	res, err := e.BulkLoad(g)
-	elapsed := time.Since(start)
+	elapsed := r.since(start)
 	if err != nil {
 		e.Close()
 		return nil, nil, 0, fmt.Errorf("%s on %s: load: %w", engine, dataset, err)
@@ -175,9 +228,9 @@ func (r *Runner) loadInto(engine, dataset string) (core.Engine, *core.LoadResult
 func (r *Runner) timeQuery(e core.Engine, q *workload.Query, p workload.Params) Measurement {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
 	defer cancel()
-	start := time.Now()
+	start := r.now()
 	res, err := q.Run(ctx, e, p)
-	m := Measurement{Query: q.Name, Elapsed: time.Since(start), Count: res.Count}
+	m := Measurement{Query: q.Name, Elapsed: r.since(start), Count: res.Count}
 	classify(&m, err)
 	return m
 }

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runPool executes jobs 0..n-1 on at most workers goroutines. Each job
+// index is executed exactly once; callers keep results deterministic by
+// having job(i) write only into slot i of a pre-sized slice, so the
+// assembled output is independent of completion order. workers <= 1
+// degenerates to a plain sequential loop on the calling goroutine.
+func runPool(workers, n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -54,6 +54,8 @@ func cell(m Measurement, ok bool) string {
 		return "-"
 	case m.TimedOut:
 		return "TIMEOUT"
+	case m.Failed && strings.HasPrefix(m.Error, "DNF"):
+		return "DNF"
 	case m.Failed && strings.Contains(m.Error, "memory"):
 		return "OOM"
 	case m.Failed:
@@ -164,12 +166,15 @@ func ReportTable3(res *Results, w io.Writer) {
 func ReportFig1Space(res *Results, w io.Writer) {
 	byDS := map[string]int64{}
 	ix := map[string]map[string]int64{}
+	dnfLoad := map[string]map[string]bool{}
 	for _, l := range res.Loads {
 		byDS[l.Dataset] = l.RawJSON
 		if ix[l.Engine] == nil {
 			ix[l.Engine] = map[string]int64{}
+			dnfLoad[l.Engine] = map[string]bool{}
 		}
 		ix[l.Engine][l.Dataset] = l.Space.Total
+		dnfLoad[l.Engine][l.Dataset] = l.Failed
 	}
 	matrix(w, "Figure 1(a,b): space occupancy (MB)", append(res.Config.Engines, "raw-json"),
 		res.Config.Datasets, func(e, d string) string {
@@ -179,6 +184,9 @@ func ReportFig1Space(res *Results, w io.Writer) {
 			b, ok := ix[e][d]
 			if !ok {
 				return "-"
+			}
+			if dnfLoad[e][d] {
+				return "DNF"
 			}
 			return fmt.Sprintf("%.2f", float64(b)/(1<<20))
 		})
@@ -223,17 +231,23 @@ func ReportFig2Complex(res *Results, w io.Writer) {
 // ReportFig3Load prints loading times (Figure 3(a)).
 func ReportFig3Load(res *Results, w io.Writer) {
 	ix := map[string]map[string]time.Duration{}
+	dnfLoad := map[string]map[string]bool{}
 	for _, l := range res.Loads {
 		if ix[l.Engine] == nil {
 			ix[l.Engine] = map[string]time.Duration{}
+			dnfLoad[l.Engine] = map[string]bool{}
 		}
 		ix[l.Engine][l.Dataset] = l.Elapsed
+		dnfLoad[l.Engine][l.Dataset] = l.Failed
 	}
 	matrix(w, "Figure 3(a): loading time", res.Config.Engines, res.Config.Datasets,
 		func(e, d string) string {
 			t, ok := ix[e][d]
 			if !ok {
 				return "-"
+			}
+			if dnfLoad[e][d] {
+				return "DNF"
 			}
 			return fmtDur(t)
 		})
@@ -301,8 +315,9 @@ func ReportFig7SP(res *Results, w io.Writer) {
 }
 
 // ReportFig7Overall prints cumulative times for single and batch
-// executions (Figure 7(c,d)). Timed-out cells are charged the timeout,
-// as the paper's cumulative plots do.
+// executions (Figure 7(c,d)). Timed-out and failed cells (including
+// DNF, whose recorded time is zero) are charged the timeout, as the
+// paper's cumulative plots do — a broken engine must not rank best.
 func ReportFig7Overall(res *Results, w io.Writer) {
 	tot := map[string]map[Mode]time.Duration{}
 	for _, m := range res.Micro {
@@ -310,7 +325,7 @@ func ReportFig7Overall(res *Results, w io.Writer) {
 			tot[m.Engine] = map[Mode]time.Duration{}
 		}
 		d := m.Elapsed
-		if m.TimedOut {
+		if m.TimedOut || m.Failed {
 			d = res.Config.Timeout
 		}
 		tot[m.Engine][m.Mode] += d

@@ -3,6 +3,8 @@ package harness
 import (
 	"bytes"
 	"context"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -11,34 +13,120 @@ import (
 	"repro/internal/workload"
 )
 
+// jobKind distinguishes the independent cell types of the evaluation
+// grid.
+type jobKind int
+
+const (
+	jobMicro   jobKind = iota // load + micro workload, one (engine, dataset)
+	jobIndexed                // Q11/Q5 with an attribute index (Figure 4(c))
+	jobComplex                // complex workload on ldbc (Figure 2)
+)
+
+// gridJob is one independently executable cell of the evaluation grid.
+type gridJob struct {
+	kind    jobKind
+	engine  string
+	dataset string
+}
+
+// cellResult collects everything one grid job measured. Each worker
+// writes only into its own pre-sized slot, so the assembled Results
+// retain the exact sequential order regardless of completion order.
+type cellResult struct {
+	loads   []LoadMeasurement
+	micro   []Measurement
+	indexed []Measurement
+	complex []Measurement
+	err     error // set only under Config.ErrorsFatal
+}
+
 // Run executes the full evaluation: Table 3 statistics, loading and
 // space (Figures 1(a,b), 3(a)), the micro workload in interactive and
 // batch mode on every engine × dataset (Figures 3–7), the indexed
 // variant of Q11 (Figure 4(c)), and — when ldbc is among the datasets —
 // the complex workload (Figure 2).
+//
+// The grid cells are independent jobs executed on Config.Workers
+// goroutines; results are assembled in plan order, so any worker count
+// produces output identical to a sequential run. An engine that fails
+// to construct or load is recorded as DNF (failed LoadMeasurement plus
+// failed cells) and the evaluation continues, unless Config.ErrorsFatal
+// requests the first such error to abort the run.
 func (r *Runner) Run() (*Results, error) {
 	out := &Results{Config: r.cfg, Stats: map[string]datasets.Table3Row{}}
 	for _, ds := range r.cfg.Datasets {
 		r.progressf("stats %s", ds)
 		out.Stats[ds] = datasets.Stats(r.graph(ds))
 	}
+
+	jobs := r.planJobs()
+	cells := make([]cellResult, len(jobs))
+	var aborted atomic.Bool
+	runPool(r.cfg.Workers, len(jobs), func(i int) {
+		// Under ErrorsFatal a fatal cell stops the grid: in-flight jobs
+		// finish, queued ones are skipped.
+		if aborted.Load() {
+			return
+		}
+		cells[i] = r.runCell(jobs[i])
+		if cells[i].err != nil {
+			aborted.Store(true)
+		}
+	})
+
+	for i := range cells {
+		if cells[i].err != nil {
+			return nil, cells[i].err
+		}
+	}
+	for i := range cells {
+		out.Loads = append(out.Loads, cells[i].loads...)
+		out.Micro = append(out.Micro, cells[i].micro...)
+		out.Indexed = append(out.Indexed, cells[i].indexed...)
+		out.Complex = append(out.Complex, cells[i].complex...)
+	}
+	return out, nil
+}
+
+// planJobs lays out the grid in the canonical sequential order; the
+// job list order is also the assembly order of the result slices.
+func (r *Runner) planJobs() []gridJob {
+	var jobs []gridJob
 	for _, ds := range r.cfg.Datasets {
 		for _, en := range r.cfg.Engines {
-			r.progressf("micro %s on %s", en, ds)
-			if err := r.runMicro(out, en, ds); err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, gridJob{jobMicro, en, ds})
+			jobs = append(jobs, gridJob{jobIndexed, en, ds})
 		}
 		if ds == "ldbc" {
 			for _, en := range r.cfg.Engines {
-				r.progressf("complex %s on ldbc", en)
-				if err := r.runComplex(out, en); err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, gridJob{jobComplex, en, ds})
 			}
 		}
 	}
-	return out, nil
+	return jobs
+}
+
+// runCell executes one grid job. Load errors inside the job are
+// recorded as DNF cells; they become fatal only under ErrorsFatal.
+func (r *Runner) runCell(j gridJob) cellResult {
+	var c cellResult
+	var err error
+	switch j.kind {
+	case jobMicro:
+		r.progressf("micro %s on %s", j.engine, j.dataset)
+		err = r.runMicro(&c, j.engine, j.dataset)
+	case jobIndexed:
+		r.progressf("indexed %s on %s", j.engine, j.dataset)
+		err = r.runIndexed(&c, j.engine, j.dataset)
+	case jobComplex:
+		r.progressf("complex %s on ldbc", j.engine)
+		err = r.runComplex(&c, j.engine)
+	}
+	if err != nil && r.cfg.ErrorsFatal {
+		c.err = err
+	}
+	return c
 }
 
 // rawJSONSize measures the GraphSON size of a dataset (the "Raw Data"
@@ -67,23 +155,55 @@ func queryOrder() []workload.Query {
 	return append(reads, writes...)
 }
 
-func (r *Runner) runMicro(out *Results, engine, dataset string) error {
-	g := r.graph(dataset)
-	e, res, loadTime, err := r.loadInto(engine, dataset)
-	if err != nil {
-		return err
+// queryCells returns the measurement names q contributes per mode: the
+// query name, or one per swept depth for Q32 (Figure 6).
+func queryCells(q *workload.Query) []string {
+	if q.Num != 32 {
+		return []string{q.Name}
 	}
-	out.Loads = append(out.Loads, LoadMeasurement{
-		Engine: engine, Dataset: dataset,
-		Elapsed: loadTime, Space: e.SpaceUsage(), RawJSON: rawJSONSize(g),
-	})
-	pg := NewParamGen(g, r.cfg.Seed)
+	names := make([]string, 0, 4)
+	for depth := 2; depth <= 5; depth++ {
+		names = append(names, q.Name+depthSuffix(depth))
+	}
+	return names
+}
+
+// dnf builds the cell the paper reports as DNF: the engine never got a
+// loaded instance to run this query on.
+func dnf(query string, err error) Measurement {
+	return Measurement{Query: query, Failed: true, Error: "DNF: " + err.Error()}
+}
+
+func (r *Runner) runMicro(c *cellResult, engine, dataset string) error {
+	ds := r.dataset(dataset)
 
 	record := func(m Measurement, mode Mode) {
 		m.Engine, m.Dataset, m.Mode = engine, dataset, mode
-		out.Micro = append(out.Micro, m)
+		c.micro = append(c.micro, m)
 	}
 
+	e, res, loadTime, err := r.loadInto(engine, dataset)
+	if err != nil {
+		c.loads = append(c.loads, LoadMeasurement{
+			Engine: engine, Dataset: dataset, RawJSON: ds.rawJSON,
+			Failed: true, Error: err.Error(),
+		})
+		for _, q := range queryOrder() {
+			q := q
+			for _, name := range queryCells(&q) {
+				record(dnf(name, err), ModeInteractive)
+				record(dnf(name, err), ModeBatch)
+			}
+		}
+		return err
+	}
+	c.loads = append(c.loads, LoadMeasurement{
+		Engine: engine, Dataset: dataset,
+		Elapsed: loadTime, Space: e.SpaceUsage(), RawJSON: ds.rawJSON,
+	})
+	pg := NewParamGen(ds.g, r.cfg.Seed)
+
+	var firstErr error
 	for _, q := range queryOrder() {
 		q := q
 		exec := e
@@ -93,7 +213,16 @@ func (r *Runner) runMicro(out *Results, engine, dataset string) error {
 		if q.Mutates && r.cfg.Isolation {
 			fresh, freshRes, _, err := r.loadInto(engine, dataset)
 			if err != nil {
-				return err
+				// The shared instance is intact; only this query's cells
+				// are DNF.
+				for _, name := range queryCells(&q) {
+					record(dnf(name, err), ModeInteractive)
+					record(dnf(name, err), ModeBatch)
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
 			exec, execRes = fresh, freshRes
 		}
@@ -118,27 +247,24 @@ func (r *Runner) runMicro(out *Results, engine, dataset string) error {
 			exec.Close()
 		}
 	}
-
-	// Figure 4(c): Q11 with a user attribute index.
-	if err := r.runIndexed(out, engine, dataset, pg); err != nil {
-		return err
-	}
 	e.Close()
-	return nil
+	return firstErr
 }
 
 func depthSuffix(d int) string {
-	return "(d=" + string(rune('0'+d)) + ")"
+	return "(d=" + strconv.Itoa(d) + ")"
 }
 
 // batch executes BatchSize iterations and reports the total time; one
-// timeout or failure marks the whole batch, as in Figure 1(c).
+// timeout or failure marks the whole batch, as in Figure 1(c). Count is
+// that of the last successful iteration — a failed iteration must not
+// overwrite it with its zero value.
 func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core.LoadResult) Measurement {
 	total := Measurement{Query: q.Name}
 	if q.Num == 32 {
 		total.Query = q.Name + depthSuffix(pg.depth)
 	}
-	start := time.Now()
+	start := r.now()
 	deadline := time.Now().Add(r.cfg.Timeout * time.Duration(r.cfg.BatchSize))
 	for i := 0; i < r.cfg.BatchSize; i++ {
 		iter := i
@@ -151,13 +277,13 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		res2, err := q.Run(ctx, e, pg.For(q, iter, res))
 		cancel()
-		total.Count = res2.Count
 		if err != nil {
 			classify(&total, err)
 			break
 		}
+		total.Count = res2.Count
 	}
-	total.Elapsed = time.Since(start)
+	total.Elapsed = r.since(start)
 	return total
 }
 
@@ -165,9 +291,22 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 // Q11 (Figure 4(c)). Engines without user indexes (BlazeGraph) are
 // skipped, engines that accept but ignore the index (Sparksee,
 // ArangoDB) run unchanged — both as the paper found.
-func (r *Runner) runIndexed(out *Results, engine, dataset string, pg *ParamGen) error {
+func (r *Runner) runIndexed(c *cellResult, engine, dataset string) error {
+	ds := r.dataset(dataset)
+	pg := NewParamGen(ds.g, r.cfg.Seed)
+
+	record := func(m Measurement) {
+		m.Engine, m.Dataset, m.Mode = engine, dataset, ModeInteractive
+		c.indexed = append(c.indexed, m)
+	}
+	recordDNF := func(err error) {
+		record(dnf("Q11(idx)", err))
+		record(dnf("Q5(idx)", err))
+	}
+
 	e, res, _, err := r.loadInto(engine, dataset)
 	if err != nil {
+		recordDNF(err)
 		return err
 	}
 	defer e.Close()
@@ -175,13 +314,13 @@ func (r *Runner) runIndexed(out *Results, engine, dataset string, pg *ParamGen) 
 		if err == core.ErrUnsupported {
 			return nil
 		}
+		recordDNF(err)
 		return err
 	}
 	q := workload.ByName("Q11")
 	m := r.timeQuery(e, q, pg.For(q, 0, res))
-	m.Engine, m.Dataset, m.Mode = engine, dataset, ModeInteractive
 	m.Query = "Q11(idx)"
-	out.Indexed = append(out.Indexed, m)
+	record(m)
 
 	// Index maintenance overhead (Section 6.4: with indexes, CUD slows
 	// by ~10%, up to ~30% for Neo 3.0 and ~100% for OrientDB): re-run
@@ -190,32 +329,37 @@ func (r *Runner) runIndexed(out *Results, engine, dataset string, pg *ParamGen) 
 	p5 := pg.For(q5, 1, res)
 	p5.NewPropName = pg.vPropName
 	m5 := r.timeQuery(e, q5, p5)
-	m5.Engine, m5.Dataset, m5.Mode = engine, dataset, ModeInteractive
 	m5.Query = "Q5(idx)"
-	out.Indexed = append(out.Indexed, m5)
+	record(m5)
 	return nil
 }
 
 // runComplex executes the 13 LDBC-derived queries (Figure 2) on ldbc.
-func (r *Runner) runComplex(out *Results, engine string) error {
-	g := r.graph("ldbc")
+func (r *Runner) runComplex(c *cellResult, engine string) error {
+	ds := r.dataset("ldbc")
+
+	record := func(m Measurement) {
+		m.Engine, m.Dataset, m.Mode = engine, "ldbc", ModeInteractive
+		c.complex = append(c.complex, m)
+	}
+
 	e, res, _, err := r.loadInto(engine, "ldbc")
 	if err != nil {
+		for _, cq := range workload.ComplexQueries() {
+			record(dnf(cq.Name, err))
+		}
 		return err
 	}
 	defer e.Close()
-	cp := ComplexFor(g, r.cfg.Seed, res)
+	cp := ComplexFor(ds.g, r.cfg.Seed, res)
 	for _, cq := range workload.ComplexQueries() {
 		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
-		start := time.Now()
+		start := r.now()
 		res2, err := cq.Run(ctx, e, cp)
-		m := Measurement{
-			Engine: engine, Dataset: "ldbc", Query: cq.Name,
-			Mode: ModeInteractive, Elapsed: time.Since(start), Count: res2.Count,
-		}
+		m := Measurement{Query: cq.Name, Elapsed: r.since(start), Count: res2.Count}
 		classify(&m, err)
 		cancel()
-		out.Complex = append(out.Complex, m)
+		record(m)
 	}
 	return nil
 }

@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/engines/sqlg"
+	"repro/internal/workload"
+)
+
+func TestDepthSuffix(t *testing.T) {
+	cases := map[int]string{2: "(d=2)", 5: "(d=5)", 10: "(d=10)", 15: "(d=15)"}
+	for d, want := range cases {
+		if got := depthSuffix(d); got != want {
+			t.Errorf("depthSuffix(%d) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestRunPoolExecutesEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16, 64} {
+		const n = 37
+		var counts [n]atomic.Int64
+		runPool(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestBatchRetainsLastSuccessfulCount guards the fix for the batch
+// counter: a failing iteration must not overwrite Count with its zero
+// value — the batch reports the count of the last successful iteration.
+func TestBatchRetainsLastSuccessfulCount(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchSize = 5
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.graph("frb-s")
+	pg := NewParamGen(g, cfg.Seed)
+	res := identityLoadResult(g)
+	var calls int
+	q := &workload.Query{
+		Num: 34, Name: "QFAIL",
+		Run: func(ctx context.Context, e core.Engine, p workload.Params) (workload.Result, error) {
+			calls++
+			if calls == 3 {
+				return workload.Result{}, errors.New("synthetic mid-batch failure")
+			}
+			return workload.Result{Count: 7}, nil
+		},
+	}
+	m := r.batch(nil, q, pg, res)
+	if !m.Failed {
+		t.Fatal("mid-batch failure not marked on the batch measurement")
+	}
+	if calls != 3 {
+		t.Fatalf("batch ran %d iterations, want stop at 3", calls)
+	}
+	if m.Count != 7 {
+		t.Fatalf("batch Count = %d, want 7 (last successful iteration)", m.Count)
+	}
+}
+
+// frozenClock makes every recorded duration zero, so two runs of the
+// same configuration export byte-identical JSON.
+func frozenClock(r *Runner) {
+	r.now = func() time.Time { return time.Time{} }
+	r.since = func(time.Time) time.Duration { return 0 }
+}
+
+// TestParallelMatchesSequentialExport is the determinism contract of
+// the worker pool: a parallel run exports byte-identical JSON to a
+// sequential one on the same seed and config. Run under -race it also
+// proves the shared graph cache and result assembly are race-free.
+func TestParallelMatchesSequentialExport(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := tinyConfig()
+		cfg.BatchSize = 2
+		cfg.Workers = workers
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frozenClock(r)
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ExportJSON(res, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := run(1)
+	par := run(8)
+	if !bytes.Equal(seq, par) {
+		seqLines := strings.Split(string(seq), "\n")
+		parLines := strings.Split(string(par), "\n")
+		for i := range seqLines {
+			if i >= len(parLines) || seqLines[i] != parLines[i] {
+				t.Fatalf("export diverges at line %d:\nworkers=1: %s\nworkers=8: %s",
+					i+1, seqLines[i], parLines[min(i, len(parLines)-1)])
+			}
+		}
+		t.Fatalf("exports differ in length: %d vs %d bytes", len(seq), len(par))
+	}
+}
+
+// failLoadEngine wraps a real engine but refuses to bulk-load —
+// the canned fixture for DNF recording.
+type failLoadEngine struct {
+	core.Engine
+}
+
+func (f *failLoadEngine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	return nil, errors.New("synthetic load failure")
+}
+
+// TestLoadFailureRecordsDNF: an engine whose load fails must be
+// recorded as DNF — failed LoadMeasurement plus failed cells — while
+// every other engine's results are still collected, as in the paper.
+// Config.ErrorsFatal restores the abort-on-error behaviour.
+func TestLoadFailureRecordsDNF(t *testing.T) {
+	unregister := engines.Register("fail-load", func() core.Engine {
+		return &failLoadEngine{sqlg.New()}
+	})
+	defer unregister()
+
+	cfg := tinyConfig()
+	cfg.Engines = []string{"fail-load", "sqlg"}
+	cfg.Datasets = []string{"frb-s"}
+	cfg.BatchSize = 2
+	cfg.Workers = 4
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("load failure aborted the run: %v", err)
+	}
+
+	// Loads: one per engine, in config order, with the failure recorded.
+	if len(res.Loads) != 2 {
+		t.Fatalf("loads = %d, want 2", len(res.Loads))
+	}
+	if l := res.Loads[0]; l.Engine != "fail-load" || !l.Failed || l.Error == "" {
+		t.Fatalf("failing engine's load not recorded as DNF: %+v", l)
+	}
+	if l := res.Loads[1]; l.Engine != "sqlg" || l.Failed {
+		t.Fatalf("healthy engine's load disturbed: %+v", l)
+	}
+
+	// Every planned cell of the failing engine is a DNF measurement; the
+	// healthy engine has the same number of cells, none of them DNF.
+	perEngine := map[string]int{}
+	for _, m := range res.Micro {
+		perEngine[m.Engine]++
+		switch m.Engine {
+		case "fail-load":
+			if !m.Failed || !strings.HasPrefix(m.Error, "DNF") {
+				t.Fatalf("fail-load cell %s %s not DNF: %+v", m.Query, m.Mode, m)
+			}
+		case "sqlg":
+			if strings.HasPrefix(m.Error, "DNF") {
+				t.Fatalf("healthy engine cell %s %s marked DNF", m.Query, m.Mode)
+			}
+		}
+	}
+	if perEngine["fail-load"] != perEngine["sqlg"] || perEngine["fail-load"] == 0 {
+		t.Fatalf("cell counts diverge: %v", perEngine)
+	}
+
+	// The indexed experiment records DNF cells too.
+	var idxDNF int
+	for _, m := range res.Indexed {
+		if m.Engine == "fail-load" {
+			if !m.Failed || !strings.HasPrefix(m.Error, "DNF") {
+				t.Fatalf("indexed cell %s not DNF: %+v", m.Query, m)
+			}
+			idxDNF++
+		}
+	}
+	if idxDNF != 2 {
+		t.Fatalf("indexed DNF cells = %d, want 2 (Q11(idx), Q5(idx))", idxDNF)
+	}
+
+	// DNF-aware consumers: the broken engine must not rank best in
+	// Table 4's Load column, and the CSV export flags its Q1 row.
+	if v := Summary(res)["fail-load"]["Load"]; v != VerdictWarn {
+		t.Fatalf("Table 4 Load verdict for failing engine = %q, want warn", v)
+	}
+	var csvBuf bytes.Buffer
+	if err := ExportCSV(res, &csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	var q1Row string
+	for _, line := range strings.Split(csvBuf.String(), "\n") {
+		if strings.HasPrefix(line, "fail-load,frb-s,Q1,") {
+			q1Row = line
+		}
+	}
+	if !strings.Contains(q1Row, ",true,") {
+		t.Fatalf("CSV Q1 row for failing engine not flagged failed: %q", q1Row)
+	}
+
+	// ErrorsFatal restores the old abort semantics.
+	cfg.ErrorsFatal = true
+	r2, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Run(); err == nil {
+		t.Fatal("ErrorsFatal run did not surface the load error")
+	}
+}

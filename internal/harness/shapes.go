@@ -47,7 +47,7 @@ func (res *Results) catTime(engine string, queries ...string) (time.Duration, bo
 func (res *Results) loadTime(engine string) time.Duration {
 	var ds []time.Duration
 	for _, l := range res.Loads {
-		if l.Engine == engine {
+		if l.Engine == engine && !l.Failed {
 			ds = append(ds, l.Elapsed)
 		}
 	}

@@ -61,15 +61,23 @@ func Summary(res *Results) map[string]map[string]Verdict {
 		out[e] = map[string]Verdict{}
 	}
 
-	// Load category from the load measurements.
+	// Load category from the load measurements. DNF loads don't enter
+	// the geomean (their zero Elapsed would rank the broken engine
+	// fastest); like query failures, they force "warn".
 	loadTimes := map[string]time.Duration{}
+	loadBad := map[string]bool{}
 	var bestLoad time.Duration
 	for _, e := range res.Config.Engines {
 		var ds []time.Duration
 		for _, l := range res.Loads {
-			if l.Engine == e {
-				ds = append(ds, l.Elapsed)
+			if l.Engine != e {
+				continue
 			}
+			if l.Failed {
+				loadBad[e] = true
+				continue
+			}
+			ds = append(ds, l.Elapsed)
 		}
 		g := geomean(ds)
 		loadTimes[e] = g
@@ -78,7 +86,7 @@ func Summary(res *Results) map[string]map[string]Verdict {
 		}
 	}
 	for _, e := range res.Config.Engines {
-		out[e]["Load"] = classifyFactor(loadTimes[e], bestLoad, false)
+		out[e]["Load"] = classifyFactor(loadTimes[e], bestLoad, loadBad[e])
 	}
 
 	// Query categories.
