@@ -5,22 +5,30 @@
 //
 //	gdb-bench [flags]
 //
-//	-engines   comma-separated engine names (default: all nine)
-//	-datasets  comma-separated dataset names (default: frb-s,frb-o,frb-m,frb-l)
-//	-scale     dataset scale factor, 1.0 = paper sizes (default 0.002)
-//	-timeout   per-query timeout (default 2s; the paper used 2h at full scale)
-//	-batch     batch size (default 10, as in the paper)
-//	-seed      random seed for parameter selection
-//	-workers   parallel grid workers (default: all CPUs; results are
-//	           identical for any worker count)
-//	-report    which report to print: all, table1..4, fig1..fig7cd (default all)
-//	-list      list engines, datasets and reports, then exit
-//	-v         print progress to stderr
+//	-engines      comma-separated engine names (default: all nine)
+//	-datasets     comma-separated dataset names (default: frb-s,frb-o,frb-m,frb-l)
+//	-scale        dataset scale factor, 1.0 = paper sizes (default 0.002)
+//	-timeout      per-query timeout (default 2s; the paper used 2h at full scale)
+//	-batch        batch size (default 10, as in the paper)
+//	-seed         random seed for parameter selection
+//	-workers      parallel grid workers (default: all CPUs; results are
+//	              identical for any worker count)
+//	-cell-workers parallel batch iterations inside one cell (non-mutating
+//	              queries only; results are identical for any value)
+//	-gen-workers  parallel dataset-generation workers (default: all CPUs;
+//	              generated graphs are identical for any value)
+//	-checkpoint   stream each completed grid cell to this JSONL file
+//	-resume       replay a compatible checkpoint from -checkpoint and run
+//	              only the missing cells
+//	-report       which report to print: all, table1..4, fig1..fig7cd (default all)
+//	-list         list engines, datasets and reports, then exit
+//	-v            print progress to stderr
 //
 // Examples:
 //
 //	gdb-bench -report fig6 -datasets frb-s,frb-m -scale 0.005
 //	gdb-bench -engines neo-1.9,sqlg -datasets ldbc -report fig2
+//	gdb-bench -checkpoint run.jsonl -resume -export-json results.json
 package main
 
 import (
@@ -45,6 +53,12 @@ func main() {
 		batch       = flag.Int("batch", 10, "batch mode size")
 		seed        = flag.Int64("seed", 1, "random seed for parameter selection")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers")
+		cellWorkers = flag.Int("cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
+		genWorkers  = flag.Int("gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
+		checkpoint  = flag.String("checkpoint", "", "stream completed grid cells to this JSONL file")
+		resume      = flag.Bool("resume", false, "replay a compatible -checkpoint file and run only the missing cells")
+		crashAfter  = flag.Int("crash-after", 0, "fault injection: exit(1) after N cells are checkpointed (testing)")
+		frozenClock = flag.Bool("frozen-clock", false, "record all durations as zero for byte-deterministic exports (testing/CI)")
 		report      = flag.String("report", "all", "report to print ("+strings.Join(harness.ReportNames(), ", ")+")")
 		exportJSON  = flag.String("export-json", "", "also write raw results as JSON to this file")
 		exportCSV   = flag.String("export-csv", "", "also write raw results as CSV to this file")
@@ -61,14 +75,36 @@ func main() {
 		return
 	}
 
+	// Validate every name up front: a typo in -report, -engines or
+	// -datasets must surface now, not after the grid has run for hours.
+	if !harness.ValidReport(*report) {
+		fatal(fmt.Errorf("unknown report %q (known: %s)", *report, strings.Join(harness.ReportNames(), ", ")))
+	}
+	for _, e := range splitList(*engineList) {
+		if engines.Constructor(e) == nil {
+			fatal(fmt.Errorf("unknown engine %q (known: %s)", e, strings.Join(engines.Names(), ", ")))
+		}
+	}
+	for _, d := range splitList(*datasetList) {
+		if datasets.ByName(d) == nil {
+			fatal(fmt.Errorf("unknown dataset %q (known: %s)", d, strings.Join(datasets.Names(), ", ")))
+		}
+	}
+
+	datasets.SetGenWorkers(*genWorkers)
 	cfg := harness.Config{
-		Datasets:  splitList(*datasetList),
-		Scale:     *scale,
-		Timeout:   *timeout,
-		BatchSize: *batch,
-		Seed:      *seed,
-		Workers:   *workers,
-		Isolation: true,
+		Datasets:        splitList(*datasetList),
+		Scale:           *scale,
+		Timeout:         *timeout,
+		BatchSize:       *batch,
+		Seed:            *seed,
+		Workers:         *workers,
+		CellWorkers:     *cellWorkers,
+		CheckpointPath:  *checkpoint,
+		Resume:          *resume,
+		CrashAfterCells: *crashAfter,
+		FrozenClock:     *frozenClock,
+		Isolation:       true,
 	}
 	if *engineList != "" {
 		cfg.Engines = splitList(*engineList)

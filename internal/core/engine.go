@@ -116,3 +116,17 @@ type Engine interface {
 // Constructor builds a fresh, empty engine instance. Registered per
 // engine configuration in internal/engines.
 type Constructor func() Engine
+
+// ConcurrentReader lets an engine veto read fan-out. All engines must
+// make concurrent reads race-free (see Engine), but an engine whose
+// read paths share *result-affecting* mutable state — e.g. Sparksee's
+// retention accounting, whose OOM verdict depends on what other
+// in-flight reads have accumulated — returns false here, and the
+// harness measures its batches sequentially even when cell parallelism
+// is enabled, preserving deterministic results. Engines that do not
+// implement the interface are treated as safe to fan out.
+type ConcurrentReader interface {
+	// ConcurrentReads reports whether concurrent read queries yield the
+	// same results as sequential execution.
+	ConcurrentReads() bool
+}

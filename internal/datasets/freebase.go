@@ -50,30 +50,31 @@ var (
 // label vocabulary, strong hubs, and — because edges are drawn
 // independently of any connectivity goal, exactly like the paper's
 // random edge sampling — heavy fragmentation with many singleton
-// components.
+// components. Vertices and edges are generated in shards (see
+// shard.go), so the graph is identical for any worker count.
 func freebase(p frbProfile, scale float64) *core.Graph {
-	rng := rand.New(rand.NewSource(p.seed))
 	n := scaled(p.nodes, scale, 300)
 	m := scaled(p.edges, scale, 200)
 	labels := p.labels
 	if labels > m/2 {
 		labels = m/2 + 1 // keep label reuse plausible at tiny scales
 	}
-	zipf := rand.NewZipf(rng, 1.2, 1, uint64(labels-1))
 
-	g := core.NewGraph(n, m)
-	for i := 0; i < n; i++ {
-		topic := p.topics[i%len(p.topics)]
-		props := core.Props{
-			"mid":  core.S(fmt.Sprintf("/m/%s.%07x", p.name, i)),
-			"type": core.S(topic),
+	g := &core.Graph{VProps: make([]core.Props, n), EdgeL: make([]core.EdgeRec, m)}
+	forShards(n, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			topic := p.topics[i%len(p.topics)]
+			props := core.Props{
+				"mid":  core.S(fmt.Sprintf("/m/%s.%07x", p.name, i)),
+				"type": core.S(topic),
+			}
+			// As in Freebase, only a fraction of entities carry names.
+			if i%3 != 0 {
+				props["name"] = core.S(fmt.Sprintf("%s entity %d", topic, i))
+			}
+			g.VProps[i] = props
 		}
-		// As in Freebase, only a fraction of entities carry names.
-		if i%3 != 0 {
-			props["name"] = core.S(fmt.Sprintf("%s entity %d", topic, i))
-		}
-		g.AddVertex(props)
-	}
+	})
 	// Node blocks: [0, giant) is the block hosting the largest
 	// component; the rest of the node space falls into blocks of ~1% of
 	// |V|. Both endpoints of an edge stay inside the source's block, so
@@ -101,15 +102,19 @@ func freebase(p frbProfile, scale float64) *core.Graph {
 		}
 		return start, end - start
 	}
-	for i := 0; i < m; i++ {
-		src := rng.Intn(n)
-		start, size := blockOf(src)
-		// Objects (dst) are hub-biased within the block: a few entities
-		// (countries, types, popular people) accumulate enormous
-		// in-degree.
-		dst := start + powerLawIndex(rng, size, p.hubAlpha)
-		label := zipfLabel(rng, zipf, "/rel/r", labels)
-		g.AddEdge(src, dst, label, nil)
-	}
+	forShards(m, func(shard, lo, hi int) {
+		rng := shardRNG(p.seed, phaseEdges, shard)
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(labels-1))
+		for i := lo; i < hi; i++ {
+			src := rng.Intn(n)
+			start, size := blockOf(src)
+			// Objects (dst) are hub-biased within the block: a few
+			// entities (countries, types, popular people) accumulate
+			// enormous in-degree.
+			dst := start + powerLawIndex(rng, size, p.hubAlpha)
+			label := zipfLabel(rng, zipf, "/rel/r", labels)
+			g.EdgeL[i] = core.EdgeRec{Src: src, Dst: dst, Label: label}
+		}
+	})
 	return g
 }

@@ -1,0 +1,109 @@
+package datasets
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Dataset generation is sharded: every generator phase (a vertex range
+// or an edge range) is cut into fixed-size shards, each shard draws
+// from its own RNG derived from (generator seed, phase, shard index),
+// and shards fill disjoint slices of the pre-sized graph. Because the
+// shard boundaries and the per-shard seeds depend only on the phase
+// size — never on the worker count — the generated graph is
+// byte-identical for any number of generation workers, including one.
+
+// shardSize is the number of objects (vertices or edges) per shard. It
+// is part of the determinism contract: changing it changes the
+// generated graphs, exactly like changing a generator seed would.
+const shardSize = 8192
+
+// genWorkers bounds the goroutines used per generation phase.
+var genWorkers atomic.Int64
+
+func init() { genWorkers.Store(int64(runtime.NumCPU())) }
+
+// SetGenWorkers bounds the number of parallel dataset-generation
+// workers; n <= 0 restores the default (all CPUs). The worker count
+// never affects the generated graphs, only how fast they appear.
+func SetGenWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	genWorkers.Store(int64(n))
+}
+
+// GenWorkers returns the current generation worker bound.
+func GenWorkers() int { return int(genWorkers.Load()) }
+
+// splitmix64 is the SplitMix64 finalizer: a bijective mixer whose
+// outputs for sequential inputs are statistically independent — the
+// standard way to derive uncorrelated per-shard seeds from one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shardRNG returns the RNG for shard s of the given phase, derived from
+// the generator seed. Distinct (seed, phase, shard) triples get
+// distinct, independent streams.
+func shardRNG(seed int64, phase uint64, s int) *rand.Rand {
+	h := splitmix64(splitmix64(uint64(seed)+phase<<32) + uint64(s))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// forShards partitions [0, n) into shardSize-sized shards and runs
+// fn(shard, start, end) for each on at most GenWorkers goroutines.
+// fn must write only into the [start, end) range of its outputs.
+func forShards(n int, fn func(shard, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	shards := (n + shardSize - 1) / shardSize
+	workers := GenWorkers()
+	if workers > shards {
+		workers = shards
+	}
+	run := func(s int) {
+		start := s * shardSize
+		end := start + shardSize
+		if end > n {
+			end = n
+		}
+		fn(s, start, end)
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			run(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				run(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Phase identifiers: every generator phase that consumes randomness has
+// its own constant so no two phases of the same generator ever share an
+// RNG stream (ldbc.go defines further phases from 16 up).
+const (
+	phaseVertices uint64 = iota + 1
+	phaseEdges
+)

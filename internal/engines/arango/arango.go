@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -51,7 +52,9 @@ type Engine struct {
 	labelID map[string]uint32
 
 	declaredIndexes map[string]bool
-	restBytes       int64 // total bytes through the simulated REST boundary
+	// restBytes is atomic: every read operation crosses the simulated
+	// REST boundary, and reads may run concurrently (core.Engine).
+	restBytes atomic.Int64 // total bytes through the simulated REST boundary
 }
 
 type edgeEntry struct {
@@ -94,7 +97,7 @@ func (e *Engine) rest(payload any) {
 	if err != nil {
 		return
 	}
-	e.restBytes += int64(len(b))
+	e.restBytes.Add(int64(len(b)))
 	var sink any
 	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.UseNumber()

@@ -472,7 +472,7 @@ func (e *Engine) SpaceUsage() core.SpaceReport {
 
 // RESTBytes reports the bytes pushed through the simulated REST
 // boundary (for tests and the harness's explain output).
-func (e *Engine) RESTBytes() int64 { return e.restBytes }
+func (e *Engine) RESTBytes() int64 { return e.restBytes.Load() }
 
 // Close implements core.Engine.
 func (e *Engine) Close() error { return nil }

@@ -27,6 +27,7 @@ package sparksee
 import (
 	"repro/internal/bitmap"
 	"repro/internal/core"
+	"sync/atomic"
 )
 
 // DefaultMemBudget bounds the bytes the modelled Gremlin adapter may
@@ -58,7 +59,9 @@ type Engine struct {
 
 	// Gremlin-adapter retention accounting.
 	memBudget int64
-	retained  int64
+	// retained is atomic: it is bumped on read paths (Degree), which may
+	// run concurrently under the core.Engine concurrent-read contract.
+	retained atomic.Int64
 }
 
 // attrStore is the paper's per-attribute structure: a map from OIDs to
@@ -412,3 +415,10 @@ func (e *Engine) RemoveEdge(id core.ID) error {
 	e.edges.Remove(oid)
 	return nil
 }
+
+// ConcurrentReads implements core.ConcurrentReader: Sparksee's modeled
+// retention accounting (the paper's OOM-on-degree-filter behaviour)
+// accumulates across in-flight reads, so its out-of-memory verdict
+// depends on what else is running — the harness must not fan its
+// batches out.
+func (e *Engine) ConcurrentReads() bool { return false }

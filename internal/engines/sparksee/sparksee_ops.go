@@ -30,13 +30,13 @@ func idsOf(b *bitmap.Bitmap) []core.ID {
 // resets the Gremlin adapter's retention accounting (each traversal
 // carries its own intermediates).
 func (e *Engine) Vertices() core.Iter[core.ID] {
-	e.retained = 0
+	e.retained.Store(0)
 	return bitmapIter(e.nodes)
 }
 
 // Edges implements core.Engine.
 func (e *Engine) Edges() core.Iter[core.ID] {
-	e.retained = 0
+	e.retained.Store(0)
 	return bitmapIter(e.edges)
 }
 
@@ -150,7 +150,7 @@ func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
 		for _, lb := range e.byLabel {
 			hits := b.AndLen(lb)
 			n += int64(hits)
-			e.retained += 40 + int64(hits)*16
+			e.retained.Add(40 + int64(hits)*16)
 		}
 		return n
 	}
@@ -165,7 +165,7 @@ func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
 		switch {
 		case ob != nil && ib != nil:
 			both := ob.Or(ib)
-			e.retained += both.Bytes()
+			e.retained.Add(both.Bytes())
 			deg = count(both)
 		case ob != nil:
 			deg = count(ob)
@@ -173,7 +173,7 @@ func (e *Engine) Degree(id core.ID, d core.Direction) (int64, error) {
 			deg = count(ib)
 		}
 	}
-	if e.retained > e.memBudget {
+	if e.retained.Load() > e.memBudget {
 		return 0, core.ErrOutOfMemory
 	}
 	return deg, nil

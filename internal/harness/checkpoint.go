@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// checkpointVersion guards the on-disk checkpoint format; bump it when
+// cellRecord or Fingerprint change shape.
+const checkpointVersion = 1
+
+// Fingerprint identifies the result-relevant part of a configuration:
+// two runs with equal fingerprints plan the same grid and measure the
+// same logical cells, so a checkpoint written by one can be replayed by
+// the other. Worker counts are deliberately absent — they never change
+// results, only wall-clock time.
+type Fingerprint struct {
+	Version   int      `json:"version"`
+	Engines   []string `json:"engines"`
+	Datasets  []string `json:"datasets"`
+	Scale     float64  `json:"scale"`
+	Seed      int64    `json:"seed"`
+	BatchSize int      `json:"batch_size"`
+	TimeoutNS int64    `json:"timeout_ns"`
+	Isolation bool     `json:"isolation"`
+	// Frozen is Config.FrozenClock: a zero-duration run must not replay
+	// real-clock measurements or vice versa.
+	Frozen bool `json:"frozen_clock"`
+	Jobs   int  `json:"jobs"` // grid plan length, a final drift guard
+}
+
+// fingerprint derives the checkpoint compatibility key for this run.
+func (r *Runner) fingerprint(jobs int) Fingerprint {
+	return Fingerprint{
+		Version:   checkpointVersion,
+		Engines:   r.cfg.Engines,
+		Datasets:  r.cfg.Datasets,
+		Scale:     r.cfg.Scale,
+		Seed:      r.cfg.Seed,
+		BatchSize: r.cfg.BatchSize,
+		TimeoutNS: int64(r.cfg.Timeout),
+		Isolation: r.cfg.Isolation,
+		Frozen:    r.cfg.FrozenClock,
+		Jobs:      jobs,
+	}
+}
+
+func (f Fingerprint) equal(o Fingerprint) bool {
+	eq := func(a, b []string) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return f.Version == o.Version && eq(f.Engines, o.Engines) &&
+		eq(f.Datasets, o.Datasets) && f.Scale == o.Scale &&
+		f.Seed == o.Seed && f.BatchSize == o.BatchSize &&
+		f.TimeoutNS == o.TimeoutNS && f.Isolation == o.Isolation &&
+		f.Frozen == o.Frozen && f.Jobs == o.Jobs
+}
+
+// loadCheckpoint recovers the completed cells of a previous run from a
+// JSONL checkpoint file. A missing file is not an error (the run simply
+// starts fresh); an existing file whose fingerprint differs from want
+// is (silently mixing measurements from two configurations would
+// corrupt the result set). A torn trailing line — the footprint of the
+// crash the checkpoint exists to survive — truncates recovery at the
+// last complete record.
+func loadCheckpoint(path string, want Fingerprint) (map[int]cellResult, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, nil // empty file: nothing to recover
+	}
+	var got Fingerprint
+	if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+		return nil, fmt.Errorf("harness: checkpoint %s: bad header: %w", path, err)
+	}
+	if !got.equal(want) {
+		return nil, fmt.Errorf("harness: checkpoint %s was written by an incompatible configuration (engines, datasets, scale, seed, batch, timeout, isolation or frozen-clock differ); remove it or rerun with the original flags", path)
+	}
+
+	cells := make(map[int]cellResult)
+	for sc.Scan() {
+		var rec cellRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn or partial line: recover everything before it
+		}
+		if rec.Index < 0 || rec.Index >= want.Jobs {
+			break
+		}
+		cells[rec.Index] = rec.cell()
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return nil, fmt.Errorf("harness: checkpoint %s: %w", path, err)
+	}
+	return cells, nil
+}

@@ -10,7 +10,10 @@ import (
 )
 
 // ExportJSON writes the full result set as JSON, for archival or
-// external plotting of the figures.
+// external plotting of the figures. Every field round-trips exactly
+// (durations are nanosecond integers, space breakdowns re-encode with
+// sorted keys), which is what lets checkpoint/resume promise a
+// byte-identical export after an interruption.
 func ExportJSON(res *Results, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

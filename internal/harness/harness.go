@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -47,6 +48,33 @@ type Config struct {
 	// Zero or negative means runtime.NumCPU(). Results are assembled in
 	// the same order regardless of the worker count.
 	Workers int
+	// CellWorkers bounds the number of batch iterations executed
+	// concurrently inside one cell. Only non-mutating queries fan out
+	// (engines are single-writer; their read surfaces are required to be
+	// race-free, see core.Engine), engines with result-affecting read
+	// state veto fan-out via core.ConcurrentReader, and the iterations
+	// fold in index order — so results are identical for any value.
+	// Zero, one or negative means sequential.
+	CellWorkers int
+	// CheckpointPath, when non-empty, streams every completed grid cell
+	// to this JSONL file as workers finish: header line with the config
+	// Fingerprint, then one record per cell, fsynced. A crash loses at
+	// most the cell in flight.
+	CheckpointPath string
+	// Resume replays a compatible checkpoint from CheckpointPath before
+	// executing: already-completed cells are restored and only the
+	// missing ones run. The final Results are byte-identical to an
+	// uninterrupted run. A checkpoint written under a different
+	// Fingerprint is rejected; a missing file starts a fresh run.
+	Resume bool
+	// CrashAfterCells, when positive, exits the process (code 1) after
+	// that many cells have been streamed to the checkpoint — fault
+	// injection for exercising checkpoint/resume, used by the CI smoke
+	// job. Replayed cells do not count.
+	CrashAfterCells int
+	// FrozenClock records every duration as zero, making exports fully
+	// deterministic — the knob behind byte-identical CI comparisons.
+	FrozenClock bool
 	// ErrorsFatal aborts the run on the first engine construction or
 	// load error instead of recording the cell as DNF and continuing.
 	ErrorsFatal bool
@@ -121,10 +149,15 @@ type Runner struct {
 	mu     sync.Mutex // guards graphs and Progress writes
 	graphs map[string]*datasetCache
 
-	// now and since default to the real clock; tests substitute a frozen
-	// clock so two runs produce byte-identical exports.
+	// now and since default to the real clock; Config.FrozenClock and
+	// tests substitute a frozen clock so two runs produce byte-identical
+	// exports.
 	now   func() time.Time
 	since func(time.Time) time.Duration
+
+	// exit is called to simulate a crash for Config.CrashAfterCells;
+	// tests substitute it, production keeps os.Exit.
+	exit func(code int)
 }
 
 // datasetCache generates a dataset graph (and its GraphSON raw size,
@@ -166,12 +199,27 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
-	return &Runner{
+	if cfg.CellWorkers <= 0 {
+		cfg.CellWorkers = 1
+	}
+	if cfg.Resume && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("harness: Resume requires CheckpointPath")
+	}
+	if cfg.CrashAfterCells > 0 && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("harness: CrashAfterCells requires CheckpointPath")
+	}
+	r := &Runner{
 		cfg:    cfg,
 		graphs: make(map[string]*datasetCache),
 		now:    time.Now,
 		since:  time.Since,
-	}, nil
+		exit:   os.Exit,
+	}
+	if cfg.FrozenClock {
+		r.now = func() time.Time { return time.Time{} }
+		r.since = func(time.Time) time.Duration { return 0 }
+	}
+	return r, nil
 }
 
 // Config returns the effective configuration.

@@ -18,6 +18,10 @@ const paramPoolPerQuery = 64
 // the engine's LoadResult. The same (dataset, seed) therefore yields
 // the same logical choices for every engine, which is the paper's
 // fairness requirement.
+//
+// After construction a ParamGen is read-only except for SetDepth, so
+// For may be called from concurrent batch iterations (Config.
+// CellWorkers); SetDepth must only be called between batches.
 type ParamGen struct {
 	g     *core.Graph
 	picks datasets.Picks

@@ -53,6 +53,12 @@ type cellResult struct {
 // to construct or load is recorded as DNF (failed LoadMeasurement plus
 // failed cells) and the evaluation continues, unless Config.ErrorsFatal
 // requests the first such error to abort the run.
+//
+// With Config.CheckpointPath set, every completed cell is streamed to
+// the checkpoint file as its worker finishes; with Config.Resume, a
+// compatible checkpoint is replayed first and only the cells it is
+// missing are executed — the assembled Results are byte-identical to an
+// uninterrupted run either way.
 func (r *Runner) Run() (*Results, error) {
 	out := &Results{Config: r.cfg, Stats: map[string]datasets.Table3Row{}}
 	for _, ds := range r.cfg.Datasets {
@@ -62,6 +68,29 @@ func (r *Runner) Run() (*Results, error) {
 
 	jobs := r.planJobs()
 	cells := make([]cellResult, len(jobs))
+
+	var recovered map[int]cellResult
+	var cp *checkpointWriter
+	if r.cfg.CheckpointPath != "" {
+		fp := r.fingerprint(len(jobs))
+		if r.cfg.Resume {
+			var err error
+			recovered, err = loadCheckpoint(r.cfg.CheckpointPath, fp)
+			if err != nil {
+				return nil, err
+			}
+			if len(recovered) > 0 {
+				r.progressf("resume: %d/%d cells restored from %s", len(recovered), len(jobs), r.cfg.CheckpointPath)
+			}
+		}
+		var err error
+		cp, err = newCheckpointWriter(r.cfg.CheckpointPath, fp, recovered)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.close()
+	}
+
 	var aborted atomic.Bool
 	runPool(r.cfg.Workers, len(jobs), func(i int) {
 		// Under ErrorsFatal a fatal cell stops the grid: in-flight jobs
@@ -69,11 +98,35 @@ func (r *Runner) Run() (*Results, error) {
 		if aborted.Load() {
 			return
 		}
+		if c, ok := recovered[i]; ok {
+			cells[i] = c
+			return
+		}
 		cells[i] = r.runCell(jobs[i])
 		if cells[i].err != nil {
 			aborted.Store(true)
+			return
+		}
+		if cp != nil {
+			streamed, err := cp.write(i, cells[i])
+			if err != nil {
+				// Durability was requested and is gone; stop the grid
+				// instead of burning hours on cells that cannot be
+				// checkpointed. Already-streamed cells stay resumable.
+				aborted.Store(true)
+				return
+			}
+			if n := r.cfg.CrashAfterCells; n > 0 && streamed >= n {
+				r.progressf("fault injection: crashing after %d checkpointed cells", streamed)
+				r.exit(1)
+			}
 		}
 	})
+	if cp != nil {
+		if err := cp.firstErr(); err != nil {
+			return nil, err
+		}
+	}
 
 	for i := range cells {
 		if cells[i].err != nil {
@@ -259,6 +312,14 @@ func depthSuffix(d int) string {
 // timeout or failure marks the whole batch, as in Figure 1(c). Count is
 // that of the last successful iteration — a failed iteration must not
 // overwrite it with its zero value.
+//
+// Non-mutating batches fan out across Config.CellWorkers goroutines:
+// engines guarantee race-free concurrent reads (see core.Engine), and
+// the iterations fold in index order — first error wins, Count taken
+// from the last success before it — so the measurement is identical to
+// a sequential batch. Mutating batches always run sequentially: the
+// engines are single-writer, and concurrent destructive iterations
+// would make the instance state depend on scheduling.
 func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core.LoadResult) Measurement {
 	total := Measurement{Query: q.Name}
 	if q.Num == 32 {
@@ -266,7 +327,7 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 	}
 	start := r.now()
 	deadline := time.Now().Add(r.cfg.Timeout * time.Duration(r.cfg.BatchSize))
-	for i := 0; i < r.cfg.BatchSize; i++ {
+	iterate := func(i int) (int64, error) {
 		iter := i
 		if q.Mutates {
 			// The interactive execution already consumed pool slot 0 on
@@ -277,14 +338,40 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		res2, err := q.Run(ctx, e, pg.For(q, iter, res))
 		cancel()
-		if err != nil {
-			classify(&total, err)
-			break
+		return res2.Count, err
+	}
+	if w := r.cfg.CellWorkers; w > 1 && !q.Mutates && concurrentReads(e) {
+		counts := make([]int64, r.cfg.BatchSize)
+		errs := make([]error, r.cfg.BatchSize)
+		runPool(w, r.cfg.BatchSize, func(i int) { counts[i], errs[i] = iterate(i) })
+		for i := 0; i < r.cfg.BatchSize; i++ {
+			if errs[i] != nil {
+				classify(&total, errs[i])
+				break
+			}
+			total.Count = counts[i]
 		}
-		total.Count = res2.Count
+	} else {
+		for i := 0; i < r.cfg.BatchSize; i++ {
+			count, err := iterate(i)
+			if err != nil {
+				classify(&total, err)
+				break
+			}
+			total.Count = count
+		}
 	}
 	total.Elapsed = r.since(start)
 	return total
+}
+
+// concurrentReads reports whether e's read results are independent of
+// read scheduling (engines veto fan-out via core.ConcurrentReader).
+func concurrentReads(e core.Engine) bool {
+	if cr, ok := e.(core.ConcurrentReader); ok {
+		return cr.ConcurrentReads()
+	}
+	return true
 }
 
 // runIndexed builds the attribute index on the Q11 property and re-runs

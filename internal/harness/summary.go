@@ -233,6 +233,18 @@ func Report(res *Results, name string, w io.Writer) error {
 	return nil
 }
 
+// ValidReport reports whether name names a known report. Callers that
+// run a grid before rendering (cmd/gdb-bench) validate up front, so an
+// unknown report name is not discovered only after hours of execution.
+func ValidReport(name string) bool {
+	for _, n := range ReportNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // ReportNames lists the available reports.
 func ReportNames() []string {
 	return []string{

@@ -14,6 +14,7 @@ package lsm
 import (
 	"bytes"
 	"sort"
+	"sync"
 
 	"repro/internal/btree"
 )
@@ -49,7 +50,10 @@ func (t *sstable) get(key []byte) (val []byte, found bool) {
 	return nil, false
 }
 
-// Store is an LSM key-value store. Not safe for concurrent writes.
+// Store is an LSM key-value store. Reads are safe to run concurrently
+// with each other (the row cache is internally synchronized, matching
+// the core.Engine contract that read surfaces tolerate concurrent
+// reads); writes are single-threaded and must not overlap reads.
 type Store struct {
 	opts     Options
 	mem      *btree.Tree
@@ -58,9 +62,12 @@ type Store struct {
 	flushes  int
 	compacts int
 
-	cache map[string][]kv
-	hits  int
-	miss  int
+	// cacheMu guards cache, hits and miss: ScanPrefix mutates them on
+	// the read path, which concurrent readers would otherwise race on.
+	cacheMu sync.Mutex
+	cache   map[string][]kv
+	hits    int
+	miss    int
 }
 
 type kv struct{ k, v []byte }
@@ -88,7 +95,9 @@ func (s *Store) invalidate(key []byte) {
 		return
 	}
 	if len(key) >= s.opts.CachePrefixLen {
+		s.cacheMu.Lock()
 		delete(s.cache, string(key[:s.opts.CachePrefixLen]))
+		s.cacheMu.Unlock()
 	}
 }
 
@@ -226,22 +235,25 @@ func (s *Store) Compact() {
 // matches, results are served from and stored into the cache.
 func (s *Store) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) {
 	if s.cache != nil && len(prefix) == s.opts.CachePrefixLen {
-		if row, ok := s.cache[string(prefix)]; ok {
+		s.cacheMu.Lock()
+		row, ok := s.cache[string(prefix)]
+		if ok {
 			s.hits++
-			for _, p := range row {
-				if !fn(p.k, p.v) {
-					return
-				}
-			}
-			return
+		} else {
+			s.miss++
 		}
-		s.miss++
-		var row []kv
-		s.scanPrefixMerged(prefix, func(k, v []byte) bool {
-			row = append(row, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
-			return true
-		})
-		s.cache[string(prefix)] = row
+		s.cacheMu.Unlock()
+		if !ok {
+			// Concurrent misses on the same prefix scan redundantly and
+			// store identical rows; rows are immutable once published.
+			s.scanPrefixMerged(prefix, func(k, v []byte) bool {
+				row = append(row, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+				return true
+			})
+			s.cacheMu.Lock()
+			s.cache[string(prefix)] = row
+			s.cacheMu.Unlock()
+		}
 		for _, p := range row {
 			if !fn(p.k, p.v) {
 				return
@@ -333,7 +345,9 @@ func (s *Store) BulkLoad(keys, vals [][]byte) error {
 	s.memBytes = 0
 	s.runs = []*sstable{t}
 	if s.cache != nil {
+		s.cacheMu.Lock()
 		s.cache = make(map[string][]kv)
+		s.cacheMu.Unlock()
 	}
 	return nil
 }
@@ -346,7 +360,10 @@ func (e bulkErr) Error() string { return string(e) }
 
 // Stats expose internals for tests and reports.
 func (s *Store) Stats() (flushes, compacts, runs, cacheHits, cacheMisses int) {
-	return s.flushes, s.compacts, len(s.runs), s.hits, s.miss
+	s.cacheMu.Lock()
+	hits, miss := s.hits, s.miss
+	s.cacheMu.Unlock()
+	return s.flushes, s.compacts, len(s.runs), hits, miss
 }
 
 // Bytes returns the approximate footprint of memtable plus runs.

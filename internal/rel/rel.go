@@ -13,6 +13,7 @@ package rel
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/core"
@@ -30,8 +31,11 @@ type Table struct {
 	rows    []Row         // position-addressed; nil = deleted
 	pk      map[int64]int // id -> position
 	indexes map[string]*btree.Tree
-	scans   int // planner statistics: full scans performed
-	seeks   int // planner statistics: index lookups performed
+	// scans and seeks are atomic: they are incremented on read paths,
+	// which may run concurrently (see core.Engine's concurrent-read
+	// contract).
+	scans atomic.Int64 // planner statistics: full scans performed
+	seeks atomic.Int64 // planner statistics: index lookups performed
 }
 
 // DB is a named collection of tables.
@@ -98,7 +102,7 @@ func (t *Table) Len() int { return len(t.pk) }
 
 // Stats returns planner counters (full scans, index seeks) for tests and
 // the harness's explain output.
-func (t *Table) Stats() (scans, seeks int) { return t.scans, t.seeks }
+func (t *Table) Stats() (scans, seeks int) { return int(t.scans.Load()), int(t.seeks.Load()) }
 
 // Insert adds a row; the row's arity must match the schema and its id
 // must be fresh.
@@ -231,7 +235,7 @@ func indexKey(v core.Value, pos int) []byte {
 // Scan calls fn for every live row (as a direct view; do not mutate)
 // until fn returns false.
 func (t *Table) Scan(fn func(Row) bool) {
-	t.scans++
+	t.scans.Add(1)
 	for _, r := range t.rows {
 		if r != nil && !fn(r) {
 			return
@@ -248,7 +252,7 @@ func (t *Table) SelectEq(col string, v core.Value, fn func(Row) bool) error {
 		return fmt.Errorf("rel: %s: no column %q", t.name, col)
 	}
 	if idx := t.indexes[col]; idx != nil {
-		t.seeks++
+		t.seeks.Add(1)
 		prefix := enc.Value(nil, v)
 		idx.AscendPrefix(prefix, func(k, _ []byte) bool {
 			posBytes := k[len(prefix):]
@@ -258,7 +262,7 @@ func (t *Table) SelectEq(col string, v core.Value, fn func(Row) bool) error {
 		})
 		return nil
 	}
-	t.scans++
+	t.scans.Add(1)
 	for _, r := range t.rows {
 		if r == nil {
 			continue
@@ -306,7 +310,7 @@ func (t *Table) HashJoin(col string, keys map[int64]struct{}, fn func(Row) bool)
 	if !ok {
 		return fmt.Errorf("rel: %s: no column %q", t.name, col)
 	}
-	t.scans++
+	t.scans.Add(1)
 	for _, r := range t.rows {
 		if r == nil {
 			continue
