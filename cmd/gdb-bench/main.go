@@ -17,9 +17,13 @@
 //	              queries only; results are identical for any value)
 //	-gen-workers  parallel dataset-generation workers (default: all CPUs;
 //	              generated graphs are identical for any value)
+//	-remote       comma-separated gdb-worker addresses (host:port) whose
+//	              slots join the local workers in executing grid cells
 //	-checkpoint   stream each completed grid cell to this JSONL file
 //	-resume       replay a compatible checkpoint from -checkpoint and run
 //	              only the missing cells
+//	-status       print a -checkpoint file's progress (cells done,
+//	              remaining, DNF per engine) and exit without executing
 //	-report       which report to print: all, table1..4, fig1..fig7cd (default all)
 //	-list         list engines, datasets and reports, then exit
 //	-v            print progress to stderr
@@ -29,9 +33,12 @@
 //	gdb-bench -report fig6 -datasets frb-s,frb-m -scale 0.005
 //	gdb-bench -engines neo-1.9,sqlg -datasets ldbc -report fig2
 //	gdb-bench -checkpoint run.jsonl -resume -export-json results.json
+//	gdb-bench -checkpoint run.jsonl -status
+//	gdb-bench -remote 10.0.0.2:9777,10.0.0.3:9777 -checkpoint run.jsonl
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,77 +51,125 @@ import (
 	"repro/internal/harness"
 )
 
+// options holds every gdb-bench flag. Flags are declared through
+// defineFlags so the doc-sync test can enumerate them and verify each
+// one is documented in README/docs.
+type options struct {
+	engines     string
+	datasets    string
+	scale       float64
+	timeout     time.Duration
+	batch       int
+	seed        int64
+	workers     int
+	cellWorkers int
+	genWorkers  int
+	remote      string
+	checkpoint  string
+	resume      bool
+	status      bool
+	crashAfter  int
+	frozenClock bool
+	report      string
+	exportJSON  string
+	exportCSV   string
+	importJSON  string
+	list        bool
+	verbose     bool
+}
+
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.engines, "engines", "", "comma-separated engines (default all)")
+	fs.StringVar(&o.datasets, "datasets", "frb-s,frb-o,frb-m,frb-l", "comma-separated datasets")
+	fs.Float64Var(&o.scale, "scale", 0.002, "dataset scale factor (1.0 = paper sizes)")
+	fs.DurationVar(&o.timeout, "timeout", 2*time.Second, "per-query timeout")
+	fs.IntVar(&o.batch, "batch", 10, "batch mode size")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed for parameter selection")
+	fs.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel evaluation workers")
+	fs.IntVar(&o.cellWorkers, "cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
+	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
+	fs.StringVar(&o.remote, "remote", "", "comma-separated gdb-worker addresses (host:port) adding remote grid slots")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "stream completed grid cells to this JSONL file")
+	fs.BoolVar(&o.resume, "resume", false, "replay a compatible -checkpoint file and run only the missing cells")
+	fs.BoolVar(&o.status, "status", false, "print the -checkpoint file's progress and exit without executing")
+	fs.IntVar(&o.crashAfter, "crash-after", 0, "fault injection: exit(1) after N cells are checkpointed (testing)")
+	fs.BoolVar(&o.frozenClock, "frozen-clock", false, "record all durations as zero for byte-deterministic exports (testing/CI)")
+	fs.StringVar(&o.report, "report", "all", "report to print ("+strings.Join(harness.ReportNames(), ", ")+")")
+	fs.StringVar(&o.exportJSON, "export-json", "", "also write raw results as JSON to this file")
+	fs.StringVar(&o.exportCSV, "export-csv", "", "also write raw results as CSV to this file")
+	fs.StringVar(&o.importJSON, "import-json", "", "render reports from a previous -export-json run instead of executing")
+	fs.BoolVar(&o.list, "list", false, "list engines, datasets and reports")
+	fs.BoolVar(&o.verbose, "v", false, "print progress to stderr")
+	return o
+}
+
 func main() {
-	var (
-		engineList  = flag.String("engines", "", "comma-separated engines (default all)")
-		datasetList = flag.String("datasets", "frb-s,frb-o,frb-m,frb-l", "comma-separated datasets")
-		scale       = flag.Float64("scale", 0.002, "dataset scale factor (1.0 = paper sizes)")
-		timeout     = flag.Duration("timeout", 2*time.Second, "per-query timeout")
-		batch       = flag.Int("batch", 10, "batch mode size")
-		seed        = flag.Int64("seed", 1, "random seed for parameter selection")
-		workers     = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers")
-		cellWorkers = flag.Int("cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
-		genWorkers  = flag.Int("gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
-		checkpoint  = flag.String("checkpoint", "", "stream completed grid cells to this JSONL file")
-		resume      = flag.Bool("resume", false, "replay a compatible -checkpoint file and run only the missing cells")
-		crashAfter  = flag.Int("crash-after", 0, "fault injection: exit(1) after N cells are checkpointed (testing)")
-		frozenClock = flag.Bool("frozen-clock", false, "record all durations as zero for byte-deterministic exports (testing/CI)")
-		report      = flag.String("report", "all", "report to print ("+strings.Join(harness.ReportNames(), ", ")+")")
-		exportJSON  = flag.String("export-json", "", "also write raw results as JSON to this file")
-		exportCSV   = flag.String("export-csv", "", "also write raw results as CSV to this file")
-		importJSON  = flag.String("import-json", "", "render reports from a previous -export-json run instead of executing")
-		list        = flag.Bool("list", false, "list engines, datasets and reports")
-		verbose     = flag.Bool("v", false, "print progress to stderr")
-	)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *list {
+	if o.list {
 		fmt.Println("engines: ", strings.Join(engines.Names(), ", "))
 		fmt.Println("datasets:", strings.Join(datasets.Names(), ", "))
 		fmt.Println("reports: ", strings.Join(harness.ReportNames(), ", "))
 		return
 	}
 
+	// -status inspects a checkpoint and never executes: a multi-hour
+	// run's progress is readable from any shell in milliseconds.
+	if o.status {
+		if o.checkpoint == "" {
+			fatal(errors.New("-status requires -checkpoint FILE"))
+		}
+		st, err := harness.ReadStatus(o.checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		st.Render(os.Stdout)
+		return
+	}
+
 	// Validate every name up front: a typo in -report, -engines or
 	// -datasets must surface now, not after the grid has run for hours.
-	if !harness.ValidReport(*report) {
-		fatal(fmt.Errorf("unknown report %q (known: %s)", *report, strings.Join(harness.ReportNames(), ", ")))
+	if !harness.ValidReport(o.report) {
+		fatal(fmt.Errorf("unknown report %q (known: %s)", o.report, strings.Join(harness.ReportNames(), ", ")))
 	}
-	for _, e := range splitList(*engineList) {
+	for _, e := range splitList(o.engines) {
 		if engines.Constructor(e) == nil {
 			fatal(fmt.Errorf("unknown engine %q (known: %s)", e, strings.Join(engines.Names(), ", ")))
 		}
 	}
-	for _, d := range splitList(*datasetList) {
+	for _, d := range splitList(o.datasets) {
 		if datasets.ByName(d) == nil {
 			fatal(fmt.Errorf("unknown dataset %q (known: %s)", d, strings.Join(datasets.Names(), ", ")))
 		}
 	}
 
-	datasets.SetGenWorkers(*genWorkers)
+	datasets.SetGenWorkers(o.genWorkers)
 	cfg := harness.Config{
-		Datasets:        splitList(*datasetList),
-		Scale:           *scale,
-		Timeout:         *timeout,
-		BatchSize:       *batch,
-		Seed:            *seed,
-		Workers:         *workers,
-		CellWorkers:     *cellWorkers,
-		CheckpointPath:  *checkpoint,
-		Resume:          *resume,
-		CrashAfterCells: *crashAfter,
-		FrozenClock:     *frozenClock,
+		Datasets:        splitList(o.datasets),
+		Scale:           o.scale,
+		Timeout:         o.timeout,
+		BatchSize:       o.batch,
+		Seed:            o.seed,
+		Workers:         o.workers,
+		CellWorkers:     o.cellWorkers,
+		Remote:          splitList(o.remote),
+		CheckpointPath:  o.checkpoint,
+		Resume:          o.resume,
+		CrashAfterCells: o.crashAfter,
+		FrozenClock:     o.frozenClock,
 		Isolation:       true,
 	}
-	if *engineList != "" {
-		cfg.Engines = splitList(*engineList)
+	if o.engines != "" {
+		cfg.Engines = splitList(o.engines)
 	}
-	if *verbose {
+	if o.verbose {
 		cfg.Progress = os.Stderr
 	}
 
 	// Static reports need no run.
-	switch *report {
+	switch o.report {
 	case "table1":
 		harness.ReportTable1(os.Stdout)
 		return
@@ -124,8 +179,8 @@ func main() {
 	}
 
 	var res *harness.Results
-	if *importJSON != "" {
-		f, err := os.Open(*importJSON)
+	if o.importJSON != "" {
+		f, err := os.Open(o.importJSON)
 		if err != nil {
 			fatal(err)
 		}
@@ -144,16 +199,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := harness.Report(res, *report, os.Stdout); err != nil {
+	if err := harness.Report(res, o.report, os.Stdout); err != nil {
 		fatal(err)
 	}
-	if *exportJSON != "" {
-		if err := writeFile(*exportJSON, func(f *os.File) error { return harness.ExportJSON(res, f) }); err != nil {
+	if o.exportJSON != "" {
+		if err := writeFile(o.exportJSON, func(f *os.File) error { return harness.ExportJSON(res, f) }); err != nil {
 			fatal(err)
 		}
 	}
-	if *exportCSV != "" {
-		if err := writeFile(*exportCSV, func(f *os.File) error { return harness.ExportCSV(res, f) }); err != nil {
+	if o.exportCSV != "" {
+		if err := writeFile(o.exportCSV, func(f *os.File) error { return harness.ExportCSV(res, f) }); err != nil {
 			fatal(err)
 		}
 	}

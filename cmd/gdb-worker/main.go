@@ -1,0 +1,105 @@
+// Command gdb-worker serves evaluation grid cells to a remote
+// gdb-bench scheduler, letting one grid span machines: start a worker
+// on each spare machine, point the scheduler at them with
+// -remote host:port, and the workers' slots join the local ones.
+//
+// Usage:
+//
+//	gdb-worker [flags]
+//
+//	-listen       address to serve on (default :9777)
+//	-capacity     concurrent cells this worker accepts (default: all CPUs)
+//	-cell-workers parallel batch iterations inside one cell (non-mutating
+//	              queries only; results are identical for any value)
+//	-gen-workers  parallel dataset-generation workers (default: all CPUs)
+//	-heartbeat    liveness interval announced to schedulers (default 2s)
+//	-v            print per-cell progress to stderr
+//
+// The handshake requires the worker and scheduler builds to have
+// identical engine and dataset catalogs (the catalog fingerprint), so
+// measurements from diverged builds can never mix. SIGINT/SIGTERM
+// drains gracefully: in-flight cells finish and their results reach
+// the scheduler, new cells are refused (the scheduler reassigns them
+// locally), then the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/harness"
+	"repro/internal/remote"
+)
+
+// options holds every gdb-worker flag, declared through defineFlags so
+// the doc-sync test can enumerate them.
+type options struct {
+	listen      string
+	capacity    int
+	cellWorkers int
+	genWorkers  int
+	heartbeat   time.Duration
+	verbose     bool
+}
+
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.listen, "listen", ":9777", "address to serve grid cells on")
+	fs.IntVar(&o.capacity, "capacity", runtime.NumCPU(), "concurrent cells this worker accepts")
+	fs.IntVar(&o.cellWorkers, "cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
+	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
+	fs.DurationVar(&o.heartbeat, "heartbeat", remote.DefaultHeartbeat, "liveness interval announced to schedulers")
+	fs.BoolVar(&o.verbose, "v", false, "print per-cell progress to stderr")
+	return o
+}
+
+func main() {
+	o := defineFlags(flag.CommandLine)
+	flag.Parse()
+
+	datasets.SetGenWorkers(o.genWorkers)
+	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers}
+	if o.verbose {
+		h.Progress = os.Stderr
+	}
+	srv := &remote.Server{
+		Handler:   h,
+		Capacity:  o.capacity,
+		Heartbeat: o.heartbeat,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gdb-worker: "+format+"\n", args...)
+		},
+	}
+
+	l, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gdb-worker: serving %d slots on %s (catalog %.12s…)\n",
+		o.capacity, l.Addr(), harness.CatalogFingerprint())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "gdb-worker: draining (in-flight cells finish, new cells are refused)")
+		srv.Drain()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "gdb-worker: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gdb-worker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Package docsync is the shared documentation drift guard for the CLI
+// binaries: every flag a command defines must be mentioned — in
+// backtick-delimited form — in README.md or docs/*.md. Each command's
+// test calls FlagsDocumented with its own defineFlags, so the corpus
+// and matching rule live in exactly one place.
+package docsync
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FlagsDocumented fails the test for every flag defined by define that
+// does not appear as `-name` in root's README.md or docs/*.md. root is
+// the repository root relative to the calling test's directory (for
+// cmd/* tests, "../..").
+func FlagsDocumented(t *testing.T, root string, define func(*flag.FlagSet)) {
+	t.Helper()
+	var docs bytes.Buffer
+	paths := []string{filepath.Join(root, "README.md")}
+	more, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, more...)
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs.Write(b)
+	}
+	fs := flag.NewFlagSet("docsync", flag.ContinueOnError)
+	define(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		// Require the backtick-delimited form: a raw substring match
+		// would let `-list` ride on `-listen` and defeat the guard.
+		if !bytes.Contains(docs.Bytes(), []byte("`-"+f.Name+"`")) {
+			t.Errorf("flag -%s is not documented in README.md or docs/*.md — add `-%s` to the flag table", f.Name, f.Name)
+		}
+	})
+}

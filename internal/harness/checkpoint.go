@@ -68,34 +68,35 @@ func (f Fingerprint) equal(o Fingerprint) bool {
 		f.Frozen == o.Frozen && f.Jobs == o.Jobs
 }
 
-// loadCheckpoint recovers the completed cells of a previous run from a
-// JSONL checkpoint file. A missing file is not an error (the run simply
-// starts fresh); an existing file whose fingerprint differs from want
-// is (silently mixing measurements from two configurations would
-// corrupt the result set). A torn trailing line — the footprint of the
-// crash the checkpoint exists to survive — truncates recovery at the
-// last complete record.
-func loadCheckpoint(path string, want Fingerprint) (map[int]cellResult, error) {
+// errCheckpointEmpty marks a checkpoint file that exists but has no
+// header line yet — recoverable for resume (start fresh), reportable
+// for -status.
+var errCheckpointEmpty = errors.New("harness: checkpoint file is empty")
+
+// readCheckpoint parses a JSONL checkpoint file into its header
+// fingerprint and completed cells, without judging compatibility —
+// resume (loadCheckpoint) and the -status command (ReadStatus) share
+// it. A torn trailing line — the footprint of the crash the checkpoint
+// exists to survive — truncates recovery at the last complete record.
+// A missing file surfaces as fs.ErrNotExist.
+func readCheckpoint(path string) (Fingerprint, map[int]cellResult, error) {
+	var got Fingerprint
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
+		return got, nil, err
 	}
 	if err != nil {
-		return nil, fmt.Errorf("harness: checkpoint: %w", err)
+		return got, nil, fmt.Errorf("harness: checkpoint: %w", err)
 	}
 	defer f.Close()
 
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
-		return nil, nil // empty file: nothing to recover
+		return got, nil, errCheckpointEmpty
 	}
-	var got Fingerprint
 	if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
-		return nil, fmt.Errorf("harness: checkpoint %s: bad header: %w", path, err)
-	}
-	if !got.equal(want) {
-		return nil, fmt.Errorf("harness: checkpoint %s was written by an incompatible configuration (engines, datasets, scale, seed, batch, timeout, isolation or frozen-clock differ); remove it or rerun with the original flags", path)
+		return got, nil, fmt.Errorf("harness: checkpoint %s: bad header: %w", path, err)
 	}
 
 	cells := make(map[int]cellResult)
@@ -104,13 +105,32 @@ func loadCheckpoint(path string, want Fingerprint) (map[int]cellResult, error) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			break // torn or partial line: recover everything before it
 		}
-		if rec.Index < 0 || rec.Index >= want.Jobs {
+		if rec.Index < 0 || rec.Index >= got.Jobs {
 			break
 		}
 		cells[rec.Index] = rec.cell()
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
-		return nil, fmt.Errorf("harness: checkpoint %s: %w", path, err)
+		return got, nil, fmt.Errorf("harness: checkpoint %s: %w", path, err)
+	}
+	return got, cells, nil
+}
+
+// loadCheckpoint recovers the completed cells of a previous run from a
+// JSONL checkpoint file. A missing or still-empty file is not an error
+// (the run simply starts fresh); an existing file whose fingerprint
+// differs from want is (silently mixing measurements from two
+// configurations would corrupt the result set).
+func loadCheckpoint(path string, want Fingerprint) (map[int]cellResult, error) {
+	got, cells, err := readCheckpoint(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist) || errors.Is(err, errCheckpointEmpty):
+		return nil, nil
+	case err != nil:
+		return nil, err
+	}
+	if !got.equal(want) {
+		return nil, fmt.Errorf("harness: checkpoint %s was written by an incompatible configuration (engines, datasets, scale, seed, batch, timeout, isolation or frozen-clock differ); remove it or rerun with the original flags", path)
 	}
 	return cells, nil
 }

@@ -56,6 +56,14 @@ type Config struct {
 	// fold in index order — so results are identical for any value.
 	// Zero, one or negative means sequential.
 	CellWorkers int
+	// Remote lists gdb-worker addresses (host:port) whose slots join
+	// the local workers in executing grid cells. The handshake ships
+	// this run's fingerprint and requires both builds to have identical
+	// engine/dataset catalogs; a worker that dies mid-cell has its cell
+	// reassigned to the local queue. Like Workers, Remote is absent
+	// from the checkpoint fingerprint: where a cell runs never changes
+	// what it measures.
+	Remote []string
 	// CheckpointPath, when non-empty, streams every completed grid cell
 	// to this JSONL file as workers finish: header line with the config
 	// Fingerprint, then one record per cell, fsynced. A crash loses at

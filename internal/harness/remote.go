@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/remote"
+)
+
+// CatalogFingerprint identifies the measurement-relevant build of this
+// binary: the registered engine catalog, the dataset catalog, the
+// checkpoint record version and the wire protocol version. A scheduler
+// and a worker with different fingerprints — an extra engine, a
+// renamed dataset, a record-format bump — would plan different grids
+// or emit incomparable records, so the remote handshake requires the
+// fingerprints to be identical.
+func CatalogFingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "proto=%d;checkpoint=%d;", remote.ProtocolVersion, checkpointVersion)
+	fmt.Fprintf(h, "engines=%q;", engines.Names())
+	fmt.Fprintf(h, "datasets=%q;", datasets.Names())
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// configFromFingerprint reconstructs a runnable configuration from the
+// wire fingerprint. The Fingerprint carries exactly the
+// result-relevant knobs, which is the point: a remote worker given
+// only the fingerprint plans the same grid and measures the same
+// logical cells as the scheduler. Concurrency knobs (Workers,
+// CellWorkers) stay the worker's own business.
+func configFromFingerprint(fp Fingerprint) Config {
+	return Config{
+		Engines:     fp.Engines,
+		Datasets:    fp.Datasets,
+		Scale:       fp.Scale,
+		Timeout:     time.Duration(fp.TimeoutNS),
+		BatchSize:   fp.BatchSize,
+		Seed:        fp.Seed,
+		Isolation:   fp.Isolation,
+		FrozenClock: fp.Frozen,
+	}
+}
+
+// WorkerHandler is the cmd/gdb-worker side of the remote transport:
+// it vets scheduler handshakes against this build's catalog
+// fingerprint and executes grid cells through a per-configuration
+// Runner, so dataset graphs are generated once and shared across the
+// cells of a run (and across schedulers retrying the same run). Only
+// the most recent configuration's Runner is cached — a Runner pins
+// its generated dataset graphs, and a long-lived worker serving many
+// different runs must not accumulate one graph set per run; sessions
+// already accepted keep their own Runner reference, so replacing the
+// cache never disturbs a run in progress.
+type WorkerHandler struct {
+	// CellWorkers is applied to every accepted run's configuration
+	// (it never changes results, only this worker's wall-clock time).
+	CellWorkers int
+	// Progress, when non-nil, receives the per-cell progress lines of
+	// accepted runs.
+	Progress io.Writer
+	// Catalog overrides the catalog fingerprint; tests use it to
+	// exercise the rejection path. Empty means CatalogFingerprint().
+	Catalog string
+
+	mu     sync.Mutex
+	key    string // canonical fingerprint JSON of the cached runner
+	runner *Runner
+}
+
+// Accept implements remote.Handler.
+func (h *WorkerHandler) Accept(hello remote.Hello) (remote.Session, error) {
+	catalog := h.Catalog
+	if catalog == "" {
+		catalog = CatalogFingerprint()
+	}
+	if hello.Catalog != catalog {
+		return nil, fmt.Errorf("catalog fingerprint mismatch (scheduler %.12s…, worker %.12s…): engine/dataset catalogs or record versions differ between the two builds", hello.Catalog, catalog)
+	}
+	var fp Fingerprint
+	if err := json.Unmarshal(hello.Config, &fp); err != nil {
+		return nil, fmt.Errorf("malformed run configuration: %v", err)
+	}
+	if fp.Version != checkpointVersion {
+		return nil, fmt.Errorf("record version mismatch: scheduler writes v%d, worker v%d", fp.Version, checkpointVersion)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := string(hello.Config)
+	if h.runner != nil && h.key == key {
+		return &workerSession{r: h.runner}, nil
+	}
+	cfg := configFromFingerprint(fp)
+	cfg.CellWorkers = h.CellWorkers
+	cfg.Progress = h.Progress
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if jobs := r.planJobs(); len(jobs) != fp.Jobs {
+		return nil, fmt.Errorf("grid plan drift: scheduler planned %d cells, worker plans %d", fp.Jobs, len(jobs))
+	}
+	h.key, h.runner = key, r
+	return &workerSession{r: r}, nil
+}
+
+// workerSession executes cells of one accepted run.
+type workerSession struct {
+	r *Runner
+}
+
+// Execute implements remote.Session: it re-derives the grid plan from
+// the shared fingerprint, verifies the scheduler's view of the cell
+// matches, runs it, and returns the cell's measurements as the same
+// cellRecord JSON the checkpoint file uses — which is exactly why
+// remote results can flow through the scheduler's stream/checkpoint
+// path unchanged.
+func (s *workerSession) Execute(spec remote.CellSpec) ([]byte, error) {
+	jobs := s.r.planJobs()
+	if spec.Index < 0 || spec.Index >= len(jobs) {
+		return nil, fmt.Errorf("cell index %d outside the %d-cell plan", spec.Index, len(jobs))
+	}
+	j := jobs[spec.Index]
+	if spec.Kind != j.kind.String() || spec.Engine != j.engine || spec.Dataset != j.dataset {
+		return nil, fmt.Errorf("cell %d plan mismatch: scheduler sent %s %s on %s, worker plans %s %s on %s",
+			spec.Index, spec.Kind, spec.Engine, spec.Dataset, j.kind, j.engine, j.dataset)
+	}
+	c := s.r.runCell(j)
+	if c.err != nil {
+		return nil, c.err
+	}
+	rec := asRecord(spec.Index, c)
+	return json.Marshal(&rec)
+}
+
+// dialRemotes connects and handshakes every configured worker
+// address. Any failure is fatal to the run: the user asked for those
+// workers, and silently degrading to local-only would hide a typo or
+// a mismatched build for the whole grid.
+func dialRemotes(addrs []string, fp Fingerprint) ([]*remote.Client, error) {
+	cfgJSON, err := json.Marshal(fp)
+	if err != nil {
+		return nil, fmt.Errorf("harness: remote: %w", err)
+	}
+	hello := remote.Hello{Catalog: CatalogFingerprint(), Config: cfgJSON}
+	var clients []*remote.Client
+	for _, a := range addrs {
+		c, err := remote.Dial(a, hello)
+		if err != nil {
+			for _, open := range clients {
+				open.Close()
+			}
+			return nil, fmt.Errorf("harness: remote worker %s: %w", a, err)
+		}
+		clients = append(clients, c)
+	}
+	return clients, nil
+}
+
+// remoteSlot runs one dispatch slot of a remote worker: it pulls
+// cells from the shared queue, ships them over the wire, and feeds
+// the results into the same completion path local workers use. Any
+// failure — worker death, drain, a refused cell — reassigns the cell
+// to the local queue and retires the slot; the grid always completes
+// with at least the local workers.
+func (r *Runner) remoteSlot(cl *remote.Client, sched *cellScheduler, jobs []gridJob, cells []cellResult, aborted *atomic.Bool, finish func(int)) {
+	for {
+		i, ok := sched.nextRemote()
+		if !ok {
+			return
+		}
+		if aborted.Load() {
+			sched.done()
+			return
+		}
+		j := jobs[i]
+		r.progressf("remote %s: cell %d (%s %s on %s)", cl.Addr(), i, j.kind, j.engine, j.dataset)
+		payload, err := cl.Execute(remote.CellSpec{Index: i, Kind: j.kind.String(), Engine: j.engine, Dataset: j.dataset})
+		if err == nil {
+			var rec cellRecord
+			if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+				err = fmt.Errorf("remote %s: bad cell payload: %w", cl.Addr(), uerr)
+			} else if rec.Index != i {
+				err = fmt.Errorf("remote %s: cell %d answered with index %d", cl.Addr(), i, rec.Index)
+			} else {
+				cells[i] = rec.cell()
+				// Workers always record failures as DNF and carry on;
+				// under ErrorsFatal the scheduler restores local
+				// semantics — a fatal cell aborts the grid no matter
+				// where it ran.
+				if r.cfg.ErrorsFatal {
+					if ferr := cellFatalError(cells[i]); ferr != nil {
+						cells[i].err = ferr
+					}
+				}
+				finish(i)
+				sched.done()
+				continue
+			}
+		}
+		r.progressf("remote %s: cell %d reassigned locally: %v", cl.Addr(), i, err)
+		sched.requeueLocal(i)
+		return
+	}
+}

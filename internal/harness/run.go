@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/graphson"
+	"repro/internal/remote"
 	"repro/internal/workload"
 )
 
@@ -22,6 +24,18 @@ const (
 	jobIndexed                // Q11/Q5 with an attribute index (Figure 4(c))
 	jobComplex                // complex workload on ldbc (Figure 2)
 )
+
+func (k jobKind) String() string {
+	switch k {
+	case jobMicro:
+		return "micro"
+	case jobIndexed:
+		return "indexed"
+	case jobComplex:
+		return "complex"
+	}
+	return "unknown"
+}
 
 // gridJob is one independently executable cell of the evaluation grid.
 type gridJob struct {
@@ -59,20 +73,44 @@ type cellResult struct {
 // compatible checkpoint is replayed first and only the cells it is
 // missing are executed — the assembled Results are byte-identical to an
 // uninterrupted run either way.
+//
+// With Config.Remote set, the listed gdb-worker processes contribute
+// additional execution slots: cells are shipped over the wire, their
+// results land in the same plan-indexed slots (and flow through the
+// same checkpoint stream) as local ones, and a worker that dies
+// mid-cell has its cell reassigned to the local queue. Where a cell
+// ran never changes what it measured.
 func (r *Runner) Run() (*Results, error) {
-	out := &Results{Config: r.cfg, Stats: map[string]datasets.Table3Row{}}
-	for _, ds := range r.cfg.Datasets {
-		r.progressf("stats %s", ds)
-		out.Stats[ds] = datasets.Stats(r.graph(ds))
-	}
-
 	jobs := r.planJobs()
 	cells := make([]cellResult, len(jobs))
+	fp := r.fingerprint(len(jobs))
+
+	// Everything that can fail fast does so before dataset generation —
+	// the longest sequential stretch of a run: a typo'd worker address,
+	// a mismatched worker build, or an incompatible checkpoint must
+	// surface in milliseconds, not after the graphs are built.
+	var clients []*remote.Client
+	if len(r.cfg.Remote) > 0 {
+		var err error
+		clients, err = dialRemotes(r.cfg.Remote, fp)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			for _, cl := range clients {
+				cl.Close()
+			}
+		}()
+		slots := 0
+		for _, cl := range clients {
+			slots += cl.Capacity()
+		}
+		r.progressf("remote: %d workers providing %d extra slots", len(clients), slots)
+	}
 
 	var recovered map[int]cellResult
 	var cp *checkpointWriter
 	if r.cfg.CheckpointPath != "" {
-		fp := r.fingerprint(len(jobs))
 		if r.cfg.Resume {
 			var err error
 			recovered, err = loadCheckpoint(r.cfg.CheckpointPath, fp)
@@ -91,29 +129,41 @@ func (r *Runner) Run() (*Results, error) {
 		defer cp.close()
 	}
 
-	var aborted atomic.Bool
-	runPool(r.cfg.Workers, len(jobs), func(i int) {
-		// Under ErrorsFatal a fatal cell stops the grid: in-flight jobs
-		// finish, queued ones are skipped.
-		if aborted.Load() {
-			return
-		}
+	out := &Results{Config: r.cfg, Stats: map[string]datasets.Table3Row{}}
+	for _, ds := range r.cfg.Datasets {
+		r.progressf("stats %s", ds)
+		out.Stats[ds] = datasets.Stats(r.graph(ds))
+	}
+
+	// Recovered cells are restored in place; only the rest is scheduled.
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
 		if c, ok := recovered[i]; ok {
 			cells[i] = c
-			return
+		} else {
+			pending = append(pending, i)
 		}
-		cells[i] = r.runCell(jobs[i])
+	}
+
+	var aborted atomic.Bool
+	sched := newCellScheduler(pending)
+	// finish is the shared completion path: it streams the cell to the
+	// checkpoint (wherever it was executed) and stops the grid on a
+	// fatal cell or a checkpoint write failure — durability was
+	// requested and is gone, so failing fast beats burning hours on
+	// cells that cannot be checkpointed (everything already streamed
+	// stays resumable).
+	finish := func(i int) {
 		if cells[i].err != nil {
 			aborted.Store(true)
+			sched.stop()
 			return
 		}
 		if cp != nil {
 			streamed, err := cp.write(i, cells[i])
 			if err != nil {
-				// Durability was requested and is gone; stop the grid
-				// instead of burning hours on cells that cannot be
-				// checkpointed. Already-streamed cells stay resumable.
 				aborted.Store(true)
+				sched.stop()
 				return
 			}
 			if n := r.cfg.CrashAfterCells; n > 0 && streamed >= n {
@@ -121,7 +171,52 @@ func (r *Runner) Run() (*Results, error) {
 				r.exit(1)
 			}
 		}
-	})
+	}
+
+	localWorker := func() {
+		for {
+			i, ok := sched.nextLocal()
+			if !ok {
+				return
+			}
+			// Under an abort the grid drains: in-flight cells
+			// finish, queued ones are skipped.
+			if !aborted.Load() {
+				cells[i] = r.runCell(jobs[i])
+				finish(i)
+			}
+			sched.done()
+		}
+	}
+	var wg sync.WaitGroup
+	localWorkers := r.cfg.Workers
+	if localWorkers > len(pending) {
+		localWorkers = len(pending)
+	}
+	for w := 1; w < localWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localWorker()
+		}()
+	}
+	for _, cl := range clients {
+		for k := 0; k < cl.Capacity(); k++ {
+			wg.Add(1)
+			go func(cl *remote.Client) {
+				defer wg.Done()
+				r.remoteSlot(cl, sched, jobs, cells, &aborted, finish)
+			}(cl)
+		}
+	}
+	// One local worker always runs on the calling goroutine — with
+	// -workers 1 the grid executes exactly where Run was called (the
+	// contract runPool had, which fault-injection tests rely on), and a
+	// requeued remote cell always has a local executor to land on.
+	if localWorkers > 0 {
+		localWorker()
+	}
+	wg.Wait()
 	if cp != nil {
 		if err := cp.firstErr(); err != nil {
 			return nil, err
@@ -145,14 +240,22 @@ func (r *Runner) Run() (*Results, error) {
 // planJobs lays out the grid in the canonical sequential order; the
 // job list order is also the assembly order of the result slices.
 func (r *Runner) planJobs() []gridJob {
+	return planGrid(r.cfg.Engines, r.cfg.Datasets)
+}
+
+// planGrid is the deterministic grid plan shared by the runner, remote
+// workers (which re-derive it from the handshake fingerprint) and the
+// -status command (which re-derives it from a checkpoint header): the
+// same engine and dataset lists always produce the same indexed plan.
+func planGrid(engineNames, datasetNames []string) []gridJob {
 	var jobs []gridJob
-	for _, ds := range r.cfg.Datasets {
-		for _, en := range r.cfg.Engines {
+	for _, ds := range datasetNames {
+		for _, en := range engineNames {
 			jobs = append(jobs, gridJob{jobMicro, en, ds})
 			jobs = append(jobs, gridJob{jobIndexed, en, ds})
 		}
 		if ds == "ldbc" {
-			for _, en := range r.cfg.Engines {
+			for _, en := range engineNames {
 				jobs = append(jobs, gridJob{jobComplex, en, ds})
 			}
 		}

@@ -1,0 +1,99 @@
+package harness
+
+import "sync"
+
+// cellScheduler coordinates one grid's pending cells between local
+// worker goroutines and remote worker slots. It replaces the plain
+// index counter of runPool with two queues:
+//
+//   - shared: cells any executor may take;
+//   - local: cells that must run locally — a cell comes here when the
+//     remote worker executing it died, so it is never handed to
+//     another remote again (the DNF/requeue contract: a worker death
+//     costs at most a local re-execution, never a lost cell).
+//
+// Local workers block while both queues are empty but cells are still
+// in flight elsewhere: an in-flight remote cell may yet be requeued to
+// them. Remote slots never block: once the shared queue is empty, the
+// remaining work is local-only or already placed.
+type cellScheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	shared   []int
+	local    []int
+	inflight int
+	stopped  bool
+}
+
+func newCellScheduler(pending []int) *cellScheduler {
+	s := &cellScheduler{shared: append([]int(nil), pending...)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// nextLocal returns the next cell for a local worker, blocking while
+// cells are in flight elsewhere. ok is false when the grid is drained
+// (or stopped): no pending cells anywhere and nothing in flight.
+func (s *cellScheduler) nextLocal() (i int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		switch {
+		case s.stopped:
+			return 0, false
+		case len(s.local) > 0:
+			i, s.local = s.local[0], s.local[1:]
+			s.inflight++
+			return i, true
+		case len(s.shared) > 0:
+			i, s.shared = s.shared[0], s.shared[1:]
+			s.inflight++
+			return i, true
+		case s.inflight == 0:
+			return 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// nextRemote returns the next cell for a remote slot, never blocking:
+// an empty shared queue retires the slot.
+func (s *cellScheduler) nextRemote() (i int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || len(s.shared) == 0 {
+		return 0, false
+	}
+	i, s.shared = s.shared[0], s.shared[1:]
+	s.inflight++
+	return i, true
+}
+
+// done retires an in-flight cell and wakes waiting local workers (the
+// grid may now be drained).
+func (s *cellScheduler) done() {
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// requeueLocal returns a cell whose remote execution failed to the
+// local-only queue and wakes a local worker to take it.
+func (s *cellScheduler) requeueLocal(i int) {
+	s.mu.Lock()
+	s.inflight--
+	s.local = append(s.local, i)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// stop drains the scheduler early: queued cells are dropped and every
+// executor retires as soon as it finishes its current cell. Used when
+// the grid aborts (ErrorsFatal, checkpoint write failure).
+func (s *cellScheduler) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

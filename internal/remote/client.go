@@ -1,0 +1,193 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Execute after Close.
+var ErrClosed = errors.New("remote: client closed")
+
+// Client is the scheduler's end of one worker connection. Execute may
+// be called from Capacity goroutines concurrently; responses are
+// multiplexed by plan index. Once the connection dies — read error,
+// or no frame for several heartbeat intervals — every in-flight and
+// future Execute fails fast, and the caller reassigns those cells.
+type Client struct {
+	addr      string
+	conn      net.Conn
+	capacity  int
+	heartbeat time.Duration
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[int]chan CellDone
+	err     error         // first fatal error; set once
+	dead    chan struct{} // closed when err is set
+}
+
+// Dial connects to a worker and performs the handshake. hello.Proto
+// is filled in; Catalog and Config are the caller's. A rejection
+// (catalog mismatch, protocol drift, unknown engines) surfaces as an
+// error mentioning the worker's reason.
+func Dial(addr string, hello Hello) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	hello.Proto = ProtocolVersion
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeFrame(conn, &frame{Type: typeHello, Hello: &hello}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
+	}
+	if f.Type != typeWelcome || f.Welcome == nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: handshake with %s: unexpected %q frame", addr, f.Type)
+	}
+	if !f.Welcome.OK {
+		conn.Close()
+		return nil, fmt.Errorf("remote: %s rejected the session: %s", addr, f.Welcome.Error)
+	}
+	conn.SetDeadline(time.Time{})
+	hb := time.Duration(f.Welcome.HeartbeatNS)
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	capacity := f.Welcome.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Client{
+		addr:      addr,
+		conn:      conn,
+		capacity:  capacity,
+		heartbeat: hb,
+		pending:   make(map[int]chan CellDone),
+		dead:      make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the worker address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// Capacity returns the slot count the worker advertised.
+func (c *Client) Capacity() int { return c.capacity }
+
+// deadlineReader refreshes the connection's read deadline on every
+// chunk, so the liveness timeout measures *stall* time, not total
+// frame-transfer time — a multi-megabyte result trickling over a slow
+// link keeps making progress and must not be mistaken for death.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d deadlineReader) Read(p []byte) (int, error) {
+	d.conn.SetReadDeadline(time.Now().Add(d.timeout))
+	return d.conn.Read(p)
+}
+
+// readLoop is the only reader: it routes responses to their waiting
+// Execute and treats heartbeats as pure liveness. The stall deadline
+// is several heartbeat intervals — a healthy worker always produces
+// bytes well within it, however long the cell itself runs.
+func (c *Client) readLoop() {
+	r := deadlineReader{conn: c.conn, timeout: 4 * c.heartbeat}
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			c.fail(fmt.Errorf("remote: worker %s died: %w", c.addr, err))
+			return
+		}
+		switch f.Type {
+		case typeHeartbeat:
+			// liveness only
+		case typeDone:
+			if f.Done == nil {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.pending[f.Done.Index]
+			delete(c.pending, f.Done.Index)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- *f.Done // buffered; never blocks
+			}
+		}
+	}
+}
+
+// fail records the first fatal error, wakes every waiter, and closes
+// the connection.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.dead)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// Execute runs one cell on the worker and returns its result payload.
+// Any error — a per-cell refusal (draining, plan mismatch) or worker
+// death — means the cell did not run remotely and must be reassigned.
+func (c *Client) Execute(spec CellSpec) (json.RawMessage, error) {
+	ch := make(chan CellDone, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[spec.Index] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, &frame{Type: typeCell, Cell: &spec})
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("remote: worker %s: %w", c.addr, err))
+		c.forget(spec.Index)
+		return nil, err
+	}
+
+	select {
+	case d := <-ch:
+		if d.Error != "" {
+			return nil, fmt.Errorf("remote: worker %s refused cell %d: %s", c.addr, spec.Index, d.Error)
+		}
+		return d.Result, nil
+	case <-c.dead:
+		c.forget(spec.Index)
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+func (c *Client) forget(index int) {
+	c.mu.Lock()
+	delete(c.pending, index)
+	c.mu.Unlock()
+}
+
+// Close ends the session; the worker sees EOF and forgets it.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}

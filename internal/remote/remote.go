@@ -1,0 +1,167 @@
+// Package remote is the wire transport that lets the evaluation grid
+// span machines: a scheduler (gdb-bench -remote) dials one or more
+// workers (cmd/gdb-worker), and every connection serves grid cells —
+// request in, measurements out — over a small length-prefixed JSON
+// protocol.
+//
+// The protocol is deliberately minimal:
+//
+//   - Frames are a 4-byte big-endian length followed by one JSON
+//     object with a "type" tag.
+//   - The first exchange is a handshake: the scheduler sends a Hello
+//     carrying the protocol version, a catalog fingerprint (the
+//     worker must have byte-identical engine and dataset catalogs, or
+//     its measurements would silently diverge) and the run
+//     configuration; the worker answers with a Welcome that either
+//     rejects the session or advertises its slot capacity and
+//     heartbeat interval.
+//   - After the handshake the scheduler sends CellSpec requests — one
+//     per slot may be in flight, multiplexed by plan index — and the
+//     worker answers each with a CellDone carrying the cell's
+//     measurements (or an error the scheduler treats as "run this
+//     cell somewhere else").
+//   - While a connection is open the worker emits heartbeat frames
+//     every Welcome.HeartbeatNS; a scheduler that sees no frame for
+//     several intervals declares the worker dead and reassigns its
+//     in-flight cells. This is what distinguishes a long-running cell
+//     (heartbeats keep arriving) from a crashed or partitioned worker
+//     (they stop).
+//   - A draining worker (SIGTERM) finishes its in-flight cells,
+//     answers new requests with an error, and closes.
+//
+// The package is transport only: cell payloads are opaque
+// json.RawMessage values, so it has no dependency on the harness and
+// the harness stays free to evolve its record shapes.
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProtocolVersion guards the wire format; both sides must agree
+// exactly. Bump it whenever a frame or message shape changes.
+const ProtocolVersion = 1
+
+// MaxFrame bounds a single frame body (a cell result carrying every
+// measurement of a micro cell is a few hundred KB at paper scale; the
+// bound exists so a corrupt length prefix cannot demand gigabytes).
+const MaxFrame = 64 << 20
+
+// DefaultHeartbeat is the worker's liveness interval when the server
+// does not configure one.
+const DefaultHeartbeat = 2 * time.Second
+
+// handshakeTimeout bounds the hello/welcome exchange and the initial
+// TCP dial; after the handshake, liveness is heartbeat-driven.
+const handshakeTimeout = 10 * time.Second
+
+// Frame type tags.
+const (
+	typeHello     = "hello"
+	typeWelcome   = "welcome"
+	typeCell      = "cell"
+	typeDone      = "done"
+	typeHeartbeat = "heartbeat"
+)
+
+// Hello is the scheduler's half of the handshake.
+type Hello struct {
+	// Proto is the scheduler's ProtocolVersion; Dial fills it in.
+	Proto int `json:"proto"`
+	// Catalog fingerprints the engine and dataset catalogs (plus
+	// result-format versions) the scheduler was built with. The worker
+	// rejects the session unless its own fingerprint is identical:
+	// measurements from mismatched builds must never mix.
+	Catalog string `json:"catalog"`
+	// Config is the run configuration the worker needs to reproduce
+	// the scheduler's grid plan — opaque to the transport.
+	Config json.RawMessage `json:"config"`
+}
+
+// Welcome is the worker's half of the handshake.
+type Welcome struct {
+	// OK reports whether the session was accepted; when false, Error
+	// says why and the connection closes.
+	OK bool `json:"ok"`
+	// Capacity is how many cells the worker is willing to execute
+	// concurrently on this connection; the scheduler runs one dispatch
+	// slot per unit.
+	Capacity int `json:"capacity,omitempty"`
+	// HeartbeatNS is the interval at which the worker will emit
+	// heartbeat frames; the scheduler sizes its read deadline from it.
+	HeartbeatNS int64 `json:"heartbeat_ns,omitempty"`
+	// Error is the rejection reason when OK is false.
+	Error string `json:"error,omitempty"`
+}
+
+// CellSpec asks the worker to execute one grid cell. Index is the
+// deterministic plan index (also the multiplexing key); Kind, Engine
+// and Dataset restate the cell so the worker can verify its own plan
+// agrees before running anything.
+type CellSpec struct {
+	Index   int    `json:"index"`
+	Kind    string `json:"kind"`
+	Engine  string `json:"engine"`
+	Dataset string `json:"dataset"`
+}
+
+// CellDone answers one CellSpec. Result carries the cell's
+// measurements (opaque to the transport) unless Error is set, in
+// which case the scheduler reassigns the cell.
+type CellDone struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// frame is the tagged union every wire message travels in.
+type frame struct {
+	Type    string    `json:"type"`
+	Hello   *Hello    `json:"hello,omitempty"`
+	Welcome *Welcome  `json:"welcome,omitempty"`
+	Cell    *CellSpec `json:"cell,omitempty"`
+	Done    *CellDone `json:"done,omitempty"`
+}
+
+// writeFrame sends one frame: 4-byte big-endian body length, then the
+// JSON body, as a single Write so concurrent writers (serialized by
+// the caller's mutex) never interleave bytes.
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("remote: encode %s frame: %w", f.Type, err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("remote: %s frame exceeds %d bytes", f.Type, MaxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("remote: frame length %d exceeds %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("remote: malformed frame: %w", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,288 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoSession returns a canned payload after an optional delay, or an
+// error, and can block on a gate channel to hold a cell in flight.
+type echoSession struct {
+	delay   time.Duration
+	gate    chan struct{} // when non-nil, Execute blocks until closed
+	refuse  string        // when non-empty, every Execute errors
+	execs   atomic.Int64
+	payload string
+}
+
+func (s *echoSession) Execute(spec CellSpec) ([]byte, error) {
+	s.execs.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.refuse != "" {
+		return nil, errors.New(s.refuse)
+	}
+	return json.Marshal(map[string]any{"index": spec.Index, "payload": s.payload})
+}
+
+// acceptAll is a Handler that accepts every handshake with a fixed
+// session, optionally requiring a catalog.
+type acceptAll struct {
+	catalog string
+	sess    Session
+}
+
+func (h *acceptAll) Accept(hello Hello) (Session, error) {
+	if h.catalog != "" && hello.Catalog != h.catalog {
+		return nil, fmt.Errorf("catalog fingerprint mismatch: want %s, got %s", h.catalog, hello.Catalog)
+	}
+	return h.sess, nil
+}
+
+// startServer runs a Server on a localhost listener and returns its
+// address; the server is torn down with the test.
+func startServer(t *testing.T, srv *Server) string {
+	addr, _ := startServerDone(t, srv)
+	return addr
+}
+
+// startServerDone additionally returns a channel closed when Serve
+// returns, for tests that pin the shutdown ordering.
+func startServerDone(t *testing.T, srv *Server) (string, <-chan struct{}) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	return l.Addr().String(), done
+}
+
+func TestHandshakeAndExecute(t *testing.T) {
+	sess := &echoSession{payload: "ok"}
+	addr := startServer(t, &Server{
+		Handler:   &acceptAll{catalog: "cat", sess: sess},
+		Capacity:  3,
+		Heartbeat: 50 * time.Millisecond,
+	})
+	c, err := Dial(addr, Hello{Catalog: "cat", Config: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3 (from the welcome)", c.Capacity())
+	}
+	res, err := c.Execute(CellSpec{Index: 7, Kind: "micro", Engine: "e", Dataset: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Index   int    `json:"index"`
+		Payload string `json:"payload"`
+	}
+	if err := json.Unmarshal(res, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != 7 || got.Payload != "ok" {
+		t.Fatalf("payload round-trip broken: %+v", got)
+	}
+}
+
+// TestHandshakeRejectsCatalogMismatch: the worker must refuse a
+// scheduler built with a different catalog, and the reason must reach
+// the scheduler's error.
+func TestHandshakeRejectsCatalogMismatch(t *testing.T) {
+	addr := startServer(t, &Server{Handler: &acceptAll{catalog: "want", sess: &echoSession{}}})
+	_, err := Dial(addr, Hello{Catalog: "other"})
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("mismatched catalog accepted: %v", err)
+	}
+}
+
+// TestHandshakeRejectsProtocolMismatch speaks a wrong protocol version
+// on a raw connection; the server must reject, not misparse.
+func TestHandshakeRejectsProtocolMismatch(t *testing.T) {
+	addr := startServer(t, &Server{Handler: &acceptAll{sess: &echoSession{}}})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &frame{Type: typeHello, Hello: &Hello{Proto: ProtocolVersion + 1}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != typeWelcome || f.Welcome == nil || f.Welcome.OK || !strings.Contains(f.Welcome.Error, "protocol version") {
+		t.Fatalf("protocol mismatch not rejected: %+v", f)
+	}
+}
+
+// TestHeartbeatOutlivesSlowCell: a cell that runs for many heartbeat
+// intervals must not trip the client's liveness deadline — heartbeats
+// are exactly what distinguishes slow from dead.
+func TestHeartbeatOutlivesSlowCell(t *testing.T) {
+	const hb = 20 * time.Millisecond
+	sess := &echoSession{payload: "slow", delay: 12 * hb} // ≫ the 4*hb read deadline
+	addr := startServer(t, &Server{Handler: &acceptAll{sess: sess}, Heartbeat: hb})
+	c, err := Dial(addr, Hello{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(CellSpec{Index: 1}); err != nil {
+		t.Fatalf("slow cell failed despite heartbeats: %v", err)
+	}
+}
+
+// TestWorkerDeathFailsInFlight: when the worker vanishes mid-cell, the
+// waiting Execute must fail within a few heartbeat intervals (not hang
+// for the cell's duration), and later calls must fail fast.
+func TestWorkerDeathFailsInFlight(t *testing.T) {
+	const hb = 20 * time.Millisecond
+	sess := &echoSession{gate: make(chan struct{})} // never closed: cell hangs forever
+	srv := &Server{Handler: &acceptAll{sess: sess}, Heartbeat: hb}
+	addr := startServer(t, srv)
+	c, err := Dial(addr, Hello{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Execute(CellSpec{Index: 1})
+		errc <- err
+	}()
+	// Let the cell land, then kill the worker (heartbeats stop).
+	for i := 0; i < 100 && sess.execs.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Execute succeeded on a dead worker")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute hung after worker death")
+	}
+	if _, err := c.Execute(CellSpec{Index: 2}); err == nil {
+		t.Fatal("Execute on a dead client did not fail fast")
+	}
+	close(sess.gate)
+}
+
+// TestDrainFinishesInFlight: Drain must deliver the in-flight cell's
+// result before tearing the session down — the graceful half of
+// worker shutdown. Serve must not return earlier either: gdb-worker's
+// main exits when Serve does, and an early return would cut the drain
+// short.
+func TestDrainFinishesInFlight(t *testing.T) {
+	sess := &echoSession{payload: "drained", gate: make(chan struct{})}
+	srv := &Server{Handler: &acceptAll{sess: sess}, Heartbeat: 20 * time.Millisecond}
+	addr, served := startServerDone(t, srv)
+	c, err := Dial(addr, Hello{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		res json.RawMessage
+		err error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		res, err := c.Execute(CellSpec{Index: 1})
+		resc <- result{res, err}
+	}()
+	for i := 0; i < 100 && sess.execs.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drained)
+	}()
+	// Drain — and Serve, whose return lets gdb-worker's main exit —
+	// must both block on the in-flight cell...
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a cell was in flight")
+	case <-served:
+		t.Fatal("Serve returned while a cell was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// ...and deliver its result once it finishes.
+	close(sess.gate)
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight cell lost during drain: %v", r.err)
+	}
+	<-drained
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the drain completed")
+	}
+}
+
+// TestDrainBeforeServe: a drain that lands before Serve has registered
+// the listener (a SIGTERM during startup) must still stop the accept
+// loop — Serve returns instead of accepting forever.
+func TestDrainBeforeServe(t *testing.T) {
+	srv := &Server{Handler: &acceptAll{sess: &echoSession{}}}
+	srv.Drain() // no listener yet
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve kept running after a pre-Serve drain")
+	}
+}
+
+// TestFrameRoundTrip pushes an outsized payload through the framing to
+// pin the length-prefix format.
+func TestFrameRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	payload := json.RawMessage(`"` + strings.Repeat("x", 1<<16) + `"`)
+	go writeFrame(client, &frame{Type: typeDone, Done: &CellDone{Index: 42, Result: payload}})
+	f, err := readFrame(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != typeDone || f.Done == nil || f.Done.Index != 42 || len(f.Done.Result) != len(payload) {
+		t.Fatalf("frame mangled in transit: type=%s", f.Type)
+	}
+}

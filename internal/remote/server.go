@@ -1,0 +1,243 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Session executes grid cells for one accepted scheduler connection.
+// Execute is called from one goroutine per in-flight cell and must be
+// safe for concurrent use up to the server's advertised Capacity.
+type Session interface {
+	Execute(spec CellSpec) (result []byte, err error)
+}
+
+// Handler vets handshakes. Accept inspects the scheduler's Hello —
+// catalog fingerprint, run configuration — and returns the Session
+// that will execute its cells, or an error that becomes the rejection
+// reason on the wire.
+type Handler interface {
+	Accept(h Hello) (Session, error)
+}
+
+// Server serves grid cells to remote schedulers. The zero value plus
+// a Handler is ready to use; Serve runs the accept loop.
+type Server struct {
+	// Handler vets handshakes and supplies cell executors. Required.
+	Handler Handler
+	// Capacity is the slot count advertised per connection; zero
+	// means runtime.NumCPU().
+	Capacity int
+	// Heartbeat is the liveness interval; zero means DefaultHeartbeat.
+	Heartbeat time.Duration
+	// Logf, when non-nil, receives connection-lifecycle lines.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	inflight sync.WaitGroup // cells executing; Drain waits for them
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts scheduler connections on l until the listener closes.
+// It returns nil after Drain (or Close) — and only once every
+// in-flight cell has finished and its result been written, so a main
+// that exits when Serve returns cannot cut a drain short. Any other
+// accept error is returned as-is.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.lis = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	// A drain that raced ahead of Serve found no listener to close;
+	// honor it now, or the accept loop would run forever.
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		l.Close()
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.draining
+			s.mu.Unlock()
+			if stopping {
+				s.inflight.Wait()
+				s.closeConns()
+				return nil
+			}
+			return err
+		}
+		// Heartbeats normally surface a dead peer, but they can sit in
+		// kernel buffers for many minutes on a hard partition; TCP
+		// keepalive bounds how long a vanished scheduler pins this
+		// worker's connection state.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(30 * time.Second)
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Drain is the graceful shutdown: stop accepting connections, let
+// in-flight cells finish and their results reach the scheduler,
+// answer any late cell requests with an error (the scheduler
+// reassigns those cells), then close every connection. It returns
+// once the worker is idle.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.inflight.Wait()
+	s.closeConns()
+}
+
+// Close tears the server down without waiting for in-flight cells —
+// the abrupt variant, for tests and fatal exits.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.closeConns()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// handle owns one scheduler connection: handshake, then a read loop
+// that fans cell requests out to executor goroutines while a ticker
+// goroutine emits heartbeats.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	// Handshake under a deadline; afterwards the connection idles
+	// until the scheduler has work, so no read deadline applies.
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	f, err := readFrame(conn)
+	if err != nil || f.Type != typeHello || f.Hello == nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	var wmu sync.Mutex
+	write := func(f *frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, f)
+	}
+	reject := func(reason string) {
+		write(&frame{Type: typeWelcome, Welcome: &Welcome{Error: reason}})
+		s.logf("remote: rejected %s: %s", conn.RemoteAddr(), reason)
+	}
+	if f.Hello.Proto != ProtocolVersion {
+		reject(fmt.Sprintf("protocol version mismatch: scheduler speaks %d, worker %d", f.Hello.Proto, ProtocolVersion))
+		return
+	}
+	sess, err := s.Handler.Accept(*f.Hello)
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	capacity := s.Capacity
+	if capacity <= 0 {
+		capacity = runtime.NumCPU()
+	}
+	hb := s.Heartbeat
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	if err := write(&frame{Type: typeWelcome, Welcome: &Welcome{OK: true, Capacity: capacity, HeartbeatNS: int64(hb)}}); err != nil {
+		return
+	}
+	s.logf("remote: session from %s, %d slots", conn.RemoteAddr(), capacity)
+
+	// Heartbeats flow for the whole session, busy or idle: the
+	// scheduler's only liveness signal while a cell runs for minutes.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if write(&frame{Type: typeHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return // EOF: scheduler finished (or died); either way we are done
+		}
+		if f.Type != typeCell || f.Cell == nil {
+			continue
+		}
+		spec := *f.Cell
+		s.mu.Lock()
+		draining := s.draining
+		if !draining {
+			s.inflight.Add(1)
+		}
+		s.mu.Unlock()
+		if draining {
+			write(&frame{Type: typeDone, Done: &CellDone{Index: spec.Index, Error: "worker draining"}})
+			continue
+		}
+		go func() {
+			defer s.inflight.Done()
+			result, err := sess.Execute(spec)
+			d := &CellDone{Index: spec.Index}
+			if err != nil {
+				d.Error = err.Error()
+			} else {
+				d.Result = result
+			}
+			write(&frame{Type: typeDone, Done: d})
+		}()
+	}
+}
