@@ -19,6 +19,9 @@
 //	              generated graphs are identical for any value)
 //	-remote       comma-separated gdb-worker addresses (host:port) whose
 //	              slots join the local workers in executing grid cells
+//	-dataset-cache reuse dataset snapshot artifacts from this directory
+//	              (content-addressed; cold runs populate it, warm runs
+//	              skip generation — graphs are byte-identical either way)
 //	-checkpoint   stream each completed grid cell to this JSONL file
 //	-resume       replay a compatible checkpoint from -checkpoint and run
 //	              only the missing cells
@@ -55,27 +58,28 @@ import (
 // defineFlags so the doc-sync test can enumerate them and verify each
 // one is documented in README/docs.
 type options struct {
-	engines     string
-	datasets    string
-	scale       float64
-	timeout     time.Duration
-	batch       int
-	seed        int64
-	workers     int
-	cellWorkers int
-	genWorkers  int
-	remote      string
-	checkpoint  string
-	resume      bool
-	status      bool
-	crashAfter  int
-	frozenClock bool
-	report      string
-	exportJSON  string
-	exportCSV   string
-	importJSON  string
-	list        bool
-	verbose     bool
+	engines      string
+	datasets     string
+	scale        float64
+	timeout      time.Duration
+	batch        int
+	seed         int64
+	workers      int
+	cellWorkers  int
+	genWorkers   int
+	remote       string
+	datasetCache string
+	checkpoint   string
+	resume       bool
+	status       bool
+	crashAfter   int
+	frozenClock  bool
+	report       string
+	exportJSON   string
+	exportCSV    string
+	importJSON   string
+	list         bool
+	verbose      bool
 }
 
 func defineFlags(fs *flag.FlagSet) *options {
@@ -90,6 +94,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.cellWorkers, "cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.remote, "remote", "", "comma-separated gdb-worker addresses (host:port) adding remote grid slots")
+	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "stream completed grid cells to this JSONL file")
 	fs.BoolVar(&o.resume, "resume", false, "replay a compatible -checkpoint file and run only the missing cells")
 	fs.BoolVar(&o.status, "status", false, "print the -checkpoint file's progress and exit without executing")
@@ -155,6 +160,7 @@ func main() {
 		Workers:         o.workers,
 		CellWorkers:     o.cellWorkers,
 		Remote:          splitList(o.remote),
+		DatasetCacheDir: o.datasetCache,
 		CheckpointPath:  o.checkpoint,
 		Resume:          o.resume,
 		CrashAfterCells: o.crashAfter,

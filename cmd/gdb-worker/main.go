@@ -12,6 +12,9 @@
 //	-cell-workers parallel batch iterations inside one cell (non-mutating
 //	              queries only; results are identical for any value)
 //	-gen-workers  parallel dataset-generation workers (default: all CPUs)
+//	-dataset-cache reuse dataset snapshot artifacts from this directory;
+//	              a fleet of workers pointed at warm caches skips the
+//	              per-process V+E dataset generation entirely
 //	-heartbeat    liveness interval announced to schedulers (default 2s)
 //	-v            print per-cell progress to stderr
 //
@@ -41,12 +44,13 @@ import (
 // options holds every gdb-worker flag, declared through defineFlags so
 // the doc-sync test can enumerate them.
 type options struct {
-	listen      string
-	capacity    int
-	cellWorkers int
-	genWorkers  int
-	heartbeat   time.Duration
-	verbose     bool
+	listen       string
+	capacity     int
+	cellWorkers  int
+	genWorkers   int
+	datasetCache string
+	heartbeat    time.Duration
+	verbose      bool
 }
 
 func defineFlags(fs *flag.FlagSet) *options {
@@ -55,6 +59,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.capacity, "capacity", runtime.NumCPU(), "concurrent cells this worker accepts")
 	fs.IntVar(&o.cellWorkers, "cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
+	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", remote.DefaultHeartbeat, "liveness interval announced to schedulers")
 	fs.BoolVar(&o.verbose, "v", false, "print per-cell progress to stderr")
 	return o
@@ -65,7 +70,7 @@ func main() {
 	flag.Parse()
 
 	datasets.SetGenWorkers(o.genWorkers)
-	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers}
+	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache}
 	if o.verbose {
 		h.Progress = os.Stderr
 	}

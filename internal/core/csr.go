@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// CSR is a compact, read-only adjacency snapshot of a dataset Graph in
+// compressed-sparse-row form: prefix-summed degree offsets, one shared
+// undirected adjacency array, and a string-interned label table. It is
+// built once per graph (see Graph.Snapshot) and then shared by every
+// consumer that previously rebuilt the same information per call —
+// datasets.Stats, parameter picking, and the engines' BulkLoad
+// pre-sizing — so the per-cell cost of those paths no longer scales
+// with redundant allocation.
+//
+// All index arrays are int32: the paper's largest dataset (frb-l,
+// 28.4M vertices, 31.2M edges) stays well inside the int32 range even
+// at scale 1.0, and halving the footprint matters at that size.
+type CSR struct {
+	// OutOff, InOff and UndOff are prefix sums of the out-, in- and
+	// undirected degrees: vertex v's degree is Off[v+1]-Off[v].
+	OutOff, InOff, UndOff []int32
+	// UndAdj holds the undirected neighbour lists back to back:
+	// UndAdj[UndOff[v]:UndOff[v+1]] are v's neighbours in both
+	// directions, with duplicates for parallel edges — the same
+	// contents Graph.Adjacency returns, in one allocation.
+	UndAdj []int32
+	// Labels is the sorted set of distinct edge labels; LabelIx[e] is
+	// the index into Labels of edge e's label, and LabelCount[l] the
+	// number of edges carrying Labels[l].
+	Labels     []string
+	LabelIx    []int32
+	LabelCount []int32
+	// VPropTotal and EPropTotal are the total number of vertex and edge
+	// properties — the exact statement/pair counts several engines'
+	// bulk loaders need up front.
+	VPropTotal, EPropTotal int
+}
+
+// NumVertices returns the vertex count of the snapshotted graph.
+func (c *CSR) NumVertices() int { return len(c.OutOff) - 1 }
+
+// NumEdges returns the edge count of the snapshotted graph.
+func (c *CSR) NumEdges() int { return len(c.LabelIx) }
+
+// OutDegree returns the out-degree of vertex v.
+func (c *CSR) OutDegree(v int) int { return int(c.OutOff[v+1] - c.OutOff[v]) }
+
+// InDegree returns the in-degree of vertex v.
+func (c *CSR) InDegree(v int) int { return int(c.InOff[v+1] - c.InOff[v]) }
+
+// Degree returns the undirected degree of vertex v (out + in, parallel
+// edges counted).
+func (c *CSR) Degree(v int) int { return int(c.UndOff[v+1] - c.UndOff[v]) }
+
+// Und returns vertex v's undirected neighbour list as a shared,
+// read-only sub-slice of the snapshot's adjacency array.
+func (c *CSR) Und(v int) []int32 { return c.UndAdj[c.UndOff[v]:c.UndOff[v+1]] }
+
+// LabelOf returns the label of edge e.
+func (c *CSR) LabelOf(e int) string { return c.Labels[c.LabelIx[e]] }
+
+// Snapshot returns the graph's CSR adjacency snapshot, building it on
+// first use. The snapshot is cached and shared: concurrent callers may
+// race to build it, but every build of the same graph produces
+// identical contents, so whichever pointer wins is equivalent. Any
+// later mutation (AddVertex, AddEdge) invalidates the cache, and the
+// next Snapshot call rebuilds.
+func (g *Graph) Snapshot() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.csr.Store(c)
+	return c
+}
+
+func buildCSR(g *Graph) *CSR {
+	n, m := len(g.VProps), len(g.EdgeL)
+	c := &CSR{
+		OutOff:  make([]int32, n+1),
+		InOff:   make([]int32, n+1),
+		UndOff:  make([]int32, n+1),
+		UndAdj:  make([]int32, 2*m),
+		LabelIx: make([]int32, m),
+	}
+
+	// Degree counting, label interning and property totals in one pass.
+	labelID := make(map[string]int32)
+	for i := range g.EdgeL {
+		e := &g.EdgeL[i]
+		c.OutOff[e.Src+1]++
+		c.InOff[e.Dst+1]++
+		c.UndOff[e.Src+1]++
+		c.UndOff[e.Dst+1]++
+		id, ok := labelID[e.Label]
+		if !ok {
+			id = int32(len(c.Labels))
+			labelID[e.Label] = id
+			c.Labels = append(c.Labels, e.Label)
+		}
+		c.LabelIx[i] = id
+		c.EPropTotal += len(e.Props)
+	}
+	for i := range g.VProps {
+		c.VPropTotal += len(g.VProps[i])
+	}
+
+	// Re-intern labels in sorted order so Labels matches Graph.Labels.
+	if len(c.Labels) > 0 {
+		sorted := append([]string(nil), c.Labels...)
+		sort.Strings(sorted)
+		remap := make([]int32, len(c.Labels))
+		for newID, l := range sorted {
+			remap[labelID[l]] = int32(newID)
+		}
+		c.Labels = sorted
+		c.LabelCount = make([]int32, len(sorted))
+		for i, old := range c.LabelIx {
+			c.LabelIx[i] = remap[old]
+			c.LabelCount[remap[old]]++
+		}
+	}
+
+	// Prefix sums.
+	for v := 0; v < n; v++ {
+		c.OutOff[v+1] += c.OutOff[v]
+		c.InOff[v+1] += c.InOff[v]
+		c.UndOff[v+1] += c.UndOff[v]
+	}
+
+	// Fill the undirected adjacency using a moving cursor per vertex.
+	cursor := make([]int32, n)
+	copy(cursor, c.UndOff[:n])
+	for i := range g.EdgeL {
+		e := &g.EdgeL[i]
+		c.UndAdj[cursor[e.Src]] = int32(e.Dst)
+		cursor[e.Src]++
+		c.UndAdj[cursor[e.Dst]] = int32(e.Src)
+		cursor[e.Dst]++
+	}
+	return c
+}
+
+// csrCache is the cached-snapshot slot embedded in Graph. It is a named
+// type so graph.go stays focused on the data model.
+type csrCache = atomic.Pointer[CSR]

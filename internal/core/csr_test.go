@@ -1,0 +1,121 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func csrTestGraph() *Graph {
+	g := NewGraph(4, 4)
+	g.AddVertex(Props{"name": S("a")})
+	g.AddVertex(Props{"name": S("b"), "x": I(1)})
+	g.AddVertex(nil)
+	g.AddVertex(Props{"name": S("d")})
+	g.AddEdge(0, 1, "knows", Props{"w": I(1)})
+	g.AddEdge(1, 2, "likes", nil)
+	g.AddEdge(1, 2, "knows", nil) // parallel edge
+	g.AddEdge(2, 2, "self", nil)  // self loop
+	return g
+}
+
+func TestSnapshotMatchesGraphMethods(t *testing.T) {
+	g := csrTestGraph()
+	c := g.Snapshot()
+
+	if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot sizes %d/%d, graph %d/%d", c.NumVertices(), c.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if got := c.Labels; !reflect.DeepEqual(got, g.Labels()) {
+		t.Fatalf("snapshot labels %v, graph %v", got, g.Labels())
+	}
+	out, in := g.OutDegrees(), g.InDegrees()
+	adj := g.Adjacency()
+	for v := 0; v < g.NumVertices(); v++ {
+		if c.OutDegree(v) != out[v] {
+			t.Errorf("vertex %d: OutDegree %d, want %d", v, c.OutDegree(v), out[v])
+		}
+		if c.InDegree(v) != in[v] {
+			t.Errorf("vertex %d: InDegree %d, want %d", v, c.InDegree(v), in[v])
+		}
+		if c.Degree(v) != len(adj[v]) {
+			t.Errorf("vertex %d: Degree %d, want %d", v, c.Degree(v), len(adj[v]))
+		}
+		und := c.Und(v)
+		got := make(map[int]int)
+		for _, w := range und {
+			got[int(w)]++
+		}
+		want := make(map[int]int)
+		for _, w := range adj[v] {
+			want[w]++
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("vertex %d: neighbours %v, want %v", v, got, want)
+		}
+	}
+	for e := range g.EdgeL {
+		if c.LabelOf(e) != g.EdgeL[e].Label {
+			t.Errorf("edge %d: label %q, want %q", e, c.LabelOf(e), g.EdgeL[e].Label)
+		}
+	}
+	var wantCount []int32
+	for range c.Labels {
+		wantCount = append(wantCount, 0)
+	}
+	for _, ix := range c.LabelIx {
+		wantCount[ix]++
+	}
+	if !reflect.DeepEqual(c.LabelCount, wantCount) {
+		t.Errorf("LabelCount %v, want %v", c.LabelCount, wantCount)
+	}
+	if c.VPropTotal != 4 || c.EPropTotal != 1 {
+		t.Errorf("prop totals %d/%d, want 4/1", c.VPropTotal, c.EPropTotal)
+	}
+}
+
+func TestSnapshotCachedAndInvalidated(t *testing.T) {
+	g := csrTestGraph()
+	c1 := g.Snapshot()
+	if c2 := g.Snapshot(); c1 != c2 {
+		t.Fatal("second Snapshot did not return the cached pointer")
+	}
+	g.AddEdge(0, 3, "new", nil)
+	c3 := g.Snapshot()
+	if c3 == c1 {
+		t.Fatal("mutation did not invalidate the snapshot")
+	}
+	if c3.NumEdges() != 5 || c3.OutDegree(0) != 2 {
+		t.Fatalf("rebuilt snapshot stale: edges %d, outdeg(0) %d", c3.NumEdges(), c3.OutDegree(0))
+	}
+}
+
+// TestSnapshotConcurrent exercises the build race under -race: many
+// goroutines snapshotting one graph must all observe equivalent
+// contents.
+func TestSnapshotConcurrent(t *testing.T) {
+	g := csrTestGraph()
+	var wg sync.WaitGroup
+	snaps := make([]*CSR, 8)
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i] = g.Snapshot()
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range snaps {
+		if !reflect.DeepEqual(c.UndOff, snaps[0].UndOff) || !reflect.DeepEqual(c.Labels, snaps[0].Labels) {
+			t.Fatalf("snapshot %d differs", i)
+		}
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	g := NewGraph(0, 0)
+	c := g.Snapshot()
+	if c.NumVertices() != 0 || c.NumEdges() != 0 || len(c.Labels) != 0 {
+		t.Fatalf("empty graph snapshot not empty: %+v", c)
+	}
+}

@@ -23,6 +23,10 @@ type EdgeRec struct {
 type Graph struct {
 	VProps []Props
 	EdgeL  []EdgeRec
+
+	// csr caches the CSR adjacency snapshot (see Snapshot); mutations
+	// invalidate it.
+	csr csrCache
 }
 
 // NewGraph returns an empty dataset graph with capacity hints.
@@ -41,6 +45,7 @@ func (g *Graph) NumEdges() int { return len(g.EdgeL) }
 
 // AddVertex appends a vertex and returns its index.
 func (g *Graph) AddVertex(p Props) int {
+	g.csr.Store(nil)
 	g.VProps = append(g.VProps, p)
 	return len(g.VProps) - 1
 }
@@ -50,6 +55,7 @@ func (g *Graph) AddEdge(src, dst int, label string, p Props) int {
 	if src < 0 || src >= len(g.VProps) || dst < 0 || dst >= len(g.VProps) {
 		panic(fmt.Sprintf("core: edge endpoints (%d,%d) out of range [0,%d)", src, dst, len(g.VProps)))
 	}
+	g.csr.Store(nil)
 	g.EdgeL = append(g.EdgeL, EdgeRec{Src: src, Dst: dst, Label: label, Props: p})
 	return len(g.EdgeL) - 1
 }

@@ -1,0 +1,153 @@
+package datasets_test
+
+// Dataset-acquisition benchmarks: the perf trajectory of the artifact
+// cache (cold = generate + GraphSON sizing + encode + store, i.e.
+// everything a cold cached acquire pays; warm = decode the artifact,
+// which already carries the GraphSON size), Stats over the CSR
+// snapshot, and an engine BulkLoad — the paths the snapshot layer
+// accelerates. TestRecordDatasetBenchmarks renders them into
+// BENCH_datasets.json for CI (set BENCH_JSON to the output path), and
+// enforces the warm-path speedup floor.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/engines"
+)
+
+// The benchmark dataset: mico is edge-heavy (per-edge RNG + Zipf +
+// label formatting on generation, three varints on decode), which is
+// exactly the load profile the cache exists for.
+const (
+	benchDataset = "mico"
+	benchScale   = 0.1
+)
+
+func benchAcquireCold(b *testing.B) {
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		if err := os.RemoveAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		if _, st, err := datasets.Acquire(benchDataset, benchScale, dir); err != nil || st.Hit || !st.Stored {
+			b.Fatalf("cold acquire: %v %+v", err, st)
+		}
+	}
+}
+
+func benchAcquireWarm(b *testing.B) {
+	dir := b.TempDir()
+	if _, _, err := datasets.Acquire(benchDataset, benchScale, dir); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st, err := datasets.Acquire(benchDataset, benchScale, dir); err != nil || !st.Hit {
+			b.Fatalf("warm acquire: %v %+v", err, st)
+		}
+	}
+}
+
+func benchStats(b *testing.B) {
+	g, _, err := datasets.Acquire(benchDataset, benchScale, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Snapshot() // steady state: the one-time CSR build is not the measurand
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if row := datasets.Stats(g); row.V == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}
+
+func benchBulkLoad(b *testing.B) {
+	g, _, err := datasets.Acquire(benchDataset, benchScale, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := engines.New("neo-1.9")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.BulkLoad(g); err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+	}
+}
+
+func BenchmarkDatasetAcquireCold(b *testing.B) { benchAcquireCold(b) }
+func BenchmarkDatasetAcquireWarm(b *testing.B) { benchAcquireWarm(b) }
+func BenchmarkDatasetStats(b *testing.B)       { benchStats(b) }
+func BenchmarkDatasetBulkLoad(b *testing.B)    { benchBulkLoad(b) }
+
+// benchRecord is one benchmark's entry in BENCH_datasets.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// TestRecordDatasetBenchmarks runs the dataset benchmarks through
+// testing.Benchmark and writes their results — plus the cold/warm
+// speedup — to the file named by BENCH_JSON (skipped when unset, so
+// ordinary test runs stay fast). The ≥5× warm-path floor is asserted
+// here: CI records the trajectory and enforces the contract in one
+// step.
+func TestRecordDatasetBenchmarks(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("BENCH_JSON not set; skipping benchmark recording")
+	}
+	run := func(name string, fn func(*testing.B)) benchRecord {
+		r := testing.Benchmark(fn)
+		t.Logf("%s: %v", name, r)
+		return benchRecord{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	cold := run("acquire/cold", benchAcquireCold)
+	warm := run("acquire/warm", benchAcquireWarm)
+	stats := run("stats", benchStats)
+	load := run("bulkload/neo-1.9", benchBulkLoad)
+
+	speedup := cold.NsPerOp / warm.NsPerOp
+	doc := struct {
+		Dataset          string        `json:"dataset"`
+		Scale            float64       `json:"scale"`
+		GeneratorVersion int           `json:"generator_version"`
+		Benchmarks       []benchRecord `json:"benchmarks"`
+		WarmSpeedup      float64       `json:"warm_speedup"`
+	}{
+		Dataset:          benchDataset,
+		Scale:            benchScale,
+		GeneratorVersion: datasets.GeneratorVersion,
+		Benchmarks:       []benchRecord{cold, warm, stats, load},
+		WarmSpeedup:      speedup,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (warm speedup %.1fx)", out, speedup)
+	if speedup < 5 {
+		t.Errorf("warm dataset acquisition is only %.1fx faster than cold, want >= 5x", speedup)
+	}
+}

@@ -40,6 +40,11 @@ type Spec struct {
 	Name  string
 	Desc  string
 	Paper Table3Row // the characteristics reported in Table 3
+	// Seed is the generator's fixed seed. It never varies at run time;
+	// it is exposed so the snapshot cache fingerprint (snapshot.go)
+	// covers it — editing a generator's seed constant must invalidate
+	// its cached artifacts exactly like a code change would.
+	Seed int64
 	// Generate builds the dataset at the given scale (1.0 = paper size).
 	Generate func(scale float64) *core.Graph
 }
@@ -52,6 +57,7 @@ func Specs() []Spec {
 			Desc: "protein–protein interaction network (S. cerevisiae)",
 			Paper: Table3Row{V: 2_300, E: 7_100, L: 167, Components: 101, MaxComp: 2_200,
 				Density: 1.34e-3, Modularity: 3.66e-2, AvgDeg: 6.1, MaxDeg: 66, Diameter: 11},
+			Seed:     yeastSeed,
 			Generate: Yeast,
 		},
 		{
@@ -59,6 +65,7 @@ func Specs() []Spec {
 			Desc: "co-authorship network (Microsoft Academic, CS)",
 			Paper: Table3Row{V: 100_000, E: 1_100_000, L: 106, Components: 1_300, MaxComp: 93_000,
 				Density: 1.10e-6, Modularity: 5.45e-3, AvgDeg: 21.6, MaxDeg: 1_300, Diameter: 23},
+			Seed:     micoSeed,
 			Generate: MiCo,
 		},
 		{
@@ -66,6 +73,7 @@ func Specs() []Spec {
 			Desc: "Freebase subset: organization/business/government/… topics",
 			Paper: Table3Row{V: 1_900_000, E: 4_300_000, L: 424, Components: 133_000, MaxComp: 1_600_000,
 				Density: 1.19e-6, Modularity: 9.82e-1, AvgDeg: 4.3, MaxDeg: 92_000, Diameter: 48},
+			Seed:     frbO.seed,
 			Generate: func(s float64) *core.Graph { return freebase(frbO, s) },
 		},
 		{
@@ -73,6 +81,7 @@ func Specs() []Spec {
 			Desc: "Freebase 0.1% random edge sample",
 			Paper: Table3Row{V: 500_000, E: 300_000, L: 1_814, Components: 160_000, MaxComp: 20_000,
 				Density: 1.20e-6, Modularity: 9.91e-1, AvgDeg: 1.3, MaxDeg: 13_000, Diameter: 4},
+			Seed:     frbS.seed,
 			Generate: func(s float64) *core.Graph { return freebase(frbS, s) },
 		},
 		{
@@ -80,6 +89,7 @@ func Specs() []Spec {
 			Desc: "Freebase 1% random edge sample",
 			Paper: Table3Row{V: 4_000_000, E: 3_100_000, L: 2_912, Components: 1_100_000, MaxComp: 1_400_000,
 				Density: 1.94e-7, Modularity: 7.97e-1, AvgDeg: 1.5, MaxDeg: 139_000, Diameter: 37},
+			Seed:     frbM.seed,
 			Generate: func(s float64) *core.Graph { return freebase(frbM, s) },
 		},
 		{
@@ -87,6 +97,7 @@ func Specs() []Spec {
 			Desc: "Freebase 10% random edge sample",
 			Paper: Table3Row{V: 28_400_000, E: 31_200_000, L: 3_821, Components: 2_000_000, MaxComp: 23_000_000,
 				Density: 3.87e-8, Modularity: 2.12e-1, AvgDeg: 2.2, MaxDeg: 1_400_000, Diameter: 33},
+			Seed:     frbL.seed,
 			Generate: func(s float64) *core.Graph { return freebase(frbL, s) },
 		},
 		{
@@ -94,6 +105,7 @@ func Specs() []Spec {
 			Desc: "LDBC SNB-style social network (1000 users, 3 years)",
 			Paper: Table3Row{V: 184_000, E: 1_500_000, L: 15, Components: 1, MaxComp: 184_000,
 				Density: 4.43e-5, Modularity: 0, AvgDeg: 16.6, MaxDeg: 48_000, Diameter: 10},
+			Seed:     ldbcSeed,
 			Generate: LDBC,
 		},
 	}

@@ -7,6 +7,9 @@ import (
 	"repro/internal/core"
 )
 
+// ldbcSeed is the ldbc generator's fixed seed (see Spec.Seed).
+const ldbcSeed = 7
+
 // The 15 edge labels of the ldbc dataset (Table 3 reports |L| = 15).
 var ldbcLabels = []string{
 	"knows", "livesIn", "worksAt", "studyAt", "hasInterest",
@@ -42,7 +45,7 @@ const (
 // and the uid properties (which equal the object's global index, as in
 // the sequential generator) up front.
 func LDBC(scale float64) *core.Graph {
-	const seed = 7
+	const seed = ldbcSeed
 	totalV := scaled(184_000, scale, 1_500)
 	totalE := scaled(1_500_000, scale, 12_000)
 

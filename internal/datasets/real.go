@@ -7,6 +7,13 @@ import (
 	"repro/internal/core"
 )
 
+// Generator seeds, hoisted to package level so the dataset Specs can
+// report them to the snapshot-cache fingerprint.
+const (
+	yeastSeed = 42
+	micoSeed  = 43
+)
+
 // Yeast generates the protein-interaction-network equivalent: ~2.3K
 // proteins, ~7.1K interaction edges whose labels are protein-class
 // pairs (167 distinct), nodes carrying short/long names, a description,
@@ -14,7 +21,7 @@ import (
 // describes for the Pajek yeast dataset. Generation is sharded (see
 // shard.go): output is identical for any worker count.
 func Yeast(scale float64) *core.Graph {
-	const seed = 42
+	const seed = yeastSeed
 	n := scaled(2_300, scale, 200)
 	m := scaled(7_100, scale, 600)
 
@@ -60,7 +67,7 @@ func Yeast(scale float64) *core.Graph {
 // structure around research areas. Generation is sharded (see
 // shard.go): output is identical for any worker count.
 func MiCo(scale float64) *core.Graph {
-	const seed = 43
+	const seed = micoSeed
 	n := scaled(100_000, scale, 500)
 	m := scaled(1_100_000, scale, 4_000)
 

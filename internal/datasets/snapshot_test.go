@@ -1,0 +1,380 @@
+package datasets
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enc"
+)
+
+const snapTestScale = 0.001
+
+// sameGraph compares two graphs for exact equality of contents,
+// treating a nil and an empty slice as the same (a decoded empty graph
+// need not reproduce the capacity hints of NewGraph).
+func sameGraph(a, b *core.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if a.NumVertices() > 0 && !reflect.DeepEqual(a.VProps, b.VProps) {
+		return false
+	}
+	return a.NumEdges() == 0 || reflect.DeepEqual(a.EdgeL, b.EdgeL)
+}
+
+// TestSnapshotRoundTripAllDatasets is the byte-identity contract of the
+// cache: for every dataset in the catalog, decode(encode(g)) must
+// reproduce the generated graph exactly — including the nil-versus-
+// empty distinction of property maps — and encoding must be
+// deterministic.
+func TestSnapshotRoundTripAllDatasets(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := spec.Generate(snapTestScale)
+			fp := SnapshotFingerprint(spec.Name, snapTestScale, spec.Seed)
+
+			raw := RawJSONSize(g)
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, g, raw, fp); err != nil {
+				t.Fatal(err)
+			}
+			var buf2 bytes.Buffer
+			if err := WriteSnapshot(&buf2, g, raw, fp); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("snapshot encoding is not deterministic")
+			}
+
+			got, gotRaw, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotRaw != raw {
+				t.Fatalf("decoded raw GraphSON size %d, want %d", gotRaw, raw)
+			}
+			if !reflect.DeepEqual(got.VProps, g.VProps) {
+				t.Fatal("decoded vertex properties differ from generated ones")
+			}
+			if !reflect.DeepEqual(got.EdgeL, g.EdgeL) {
+				t.Fatal("decoded edges differ from generated ones")
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripEdgeCases covers shapes the generators do not
+// produce: empty graph, empty-but-non-nil property maps, every value
+// kind, and parallel/self edges.
+func TestSnapshotRoundTripEdgeCases(t *testing.T) {
+	graphs := map[string]*core.Graph{
+		"empty": core.NewGraph(0, 0),
+	}
+	g := core.NewGraph(4, 4)
+	g.AddVertex(core.Props{}) // empty, non-nil
+	g.AddVertex(nil)          // nil
+	g.AddVertex(core.Props{"s": core.S("x"), "i": core.I(-42), "f": core.F(1.5), "b": core.B(true), "n": core.Nil})
+	g.AddVertex(core.Props{"f0": core.F(0), "bf": core.B(false)})
+	g.AddEdge(2, 2, "self", core.Props{})
+	g.AddEdge(2, 3, "par", nil)
+	g.AddEdge(2, 3, "par", core.Props{"w": core.F(-0.5)})
+	graphs["kinds"] = g
+
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			var fp [32]byte
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, g, 0, fp); err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameGraph(got, g) {
+				t.Fatalf("round trip diverged:\n got %+v %+v\nwant %+v %+v", got.VProps, got.EdgeL, g.VProps, g.EdgeL)
+			}
+		})
+	}
+}
+
+// TestSnapshotFingerprintCoversIdentity: any change to the dataset
+// name, scale, seed or generator/format version must change the
+// fingerprint — that is the whole invalidation rule of the cache.
+func TestSnapshotFingerprintCoversIdentity(t *testing.T) {
+	base := SnapshotFingerprint("yeast", 0.01, 42)
+	if got := SnapshotFingerprint("mico", 0.01, 42); got == base {
+		t.Error("fingerprint ignores dataset name")
+	}
+	if got := SnapshotFingerprint("yeast", 0.02, 42); got == base {
+		t.Error("fingerprint ignores scale")
+	}
+	if got := SnapshotFingerprint("yeast", 0.01, 43); got == base {
+		t.Error("fingerprint ignores seed")
+	}
+	if got := SnapshotFingerprint("yeast", 0.01, 42); got != base {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+func TestAcquireColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	g1, st1, err := Acquire("yeast", snapTestScale, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Hit || !st1.Stored || st1.Err != nil {
+		t.Fatalf("cold acquire: %+v", st1)
+	}
+	g2, st2, err := Acquire("yeast", snapTestScale, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Hit || st2.Stored || st2.Err != nil {
+		t.Fatalf("warm acquire: %+v", st2)
+	}
+	if st1.Path != st2.Path {
+		t.Fatalf("paths differ: %s vs %s", st1.Path, st2.Path)
+	}
+	if !reflect.DeepEqual(g1.VProps, g2.VProps) || !reflect.DeepEqual(g1.EdgeL, g2.EdgeL) {
+		t.Fatal("cached graph differs from generated one")
+	}
+	// The cache is content-addressed per (name, scale): another scale
+	// must produce a second artifact, not overwrite the first.
+	_, st3, err := Acquire("yeast", 2*snapTestScale, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Path == st1.Path {
+		t.Fatal("different scale mapped to the same artifact path")
+	}
+	// No cache dir: plain generation, no artifact.
+	_, st4, err := Acquire("yeast", snapTestScale, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Hit || st4.Stored || st4.Path != "" {
+		t.Fatalf("uncached acquire touched the cache: %+v", st4)
+	}
+	if _, _, err := Acquire("no-such-dataset", 1, dir); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// TestAcquireTruncatedSnapshot: a half-written artifact (the footprint
+// of a crash without the atomic rename, or of disk corruption) must
+// fall back to regeneration and heal the artifact.
+func TestAcquireTruncatedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g1, st1, err := Acquire("yeast", snapTestScale, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(st1.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 3, snapshotHeaderLen - 1, snapshotHeaderLen + 10, len(raw) - 1} {
+		if err := os.WriteFile(st1.Path, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g, st, err := Acquire("yeast", snapTestScale, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Hit {
+			t.Fatalf("truncated artifact (%d bytes) served as a hit", keep)
+		}
+		if st.Err == nil || !st.Stored {
+			t.Fatalf("truncated artifact (%d bytes) not reported+healed: %+v", keep, st)
+		}
+		if !reflect.DeepEqual(g.VProps, g1.VProps) || !reflect.DeepEqual(g.EdgeL, g1.EdgeL) {
+			t.Fatal("regenerated graph differs")
+		}
+		// The artifact must be healed: next acquire hits.
+		if _, st, _ := Acquire("yeast", snapTestScale, dir); !st.Hit {
+			t.Fatalf("artifact not healed after truncation to %d bytes", keep)
+		}
+	}
+}
+
+// TestAcquireFingerprintMismatch: an artifact whose embedded
+// fingerprint differs from the expected one — the on-disk footprint of
+// a changed generator version, seed or scale landing on the same path —
+// must never be served.
+func TestAcquireFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	_, st1, err := Acquire("yeast", snapTestScale, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(st1.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[5] ^= 0xFF // first fingerprint byte
+	if err := os.WriteFile(st1.Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Acquire("yeast", snapTestScale, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hit {
+		t.Fatal("fingerprint-mismatched artifact served as a hit")
+	}
+	if st.Err == nil || !strings.Contains(st.Err.Error(), "fingerprint mismatch") {
+		t.Fatalf("mismatch not surfaced: %v", st.Err)
+	}
+
+	// Corrupted payload byte: CRC must catch it.
+	raw2, err := os.ReadFile(st1.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2[len(raw2)-1] ^= 0x01
+	if err := os.WriteFile(st1.Path, raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, _ := Acquire("yeast", snapTestScale, dir); st.Hit || st.Err == nil {
+		t.Fatalf("corrupt payload served: %+v", st)
+	}
+}
+
+// TestAcquireConcurrentReaders: many goroutines acquiring the same
+// cold entry must all get equivalent graphs, and the artifact must be
+// valid afterwards — the atomic temp-file+rename protocol at work.
+func TestAcquireConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	const readers = 8
+	graphs := make([]*core.Graph, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graphs[i], _, errs[i] = Acquire("yeast", snapTestScale, dir)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(graphs[i].VProps, graphs[0].VProps) || !reflect.DeepEqual(graphs[i].EdgeL, graphs[0].EdgeL) {
+			t.Fatalf("reader %d got a different graph", i)
+		}
+	}
+	// Exactly one artifact, no leftover temp files, and it is valid.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	if len(files) != 1 || !strings.HasSuffix(files[0], ".gsnp") {
+		t.Fatalf("cache dir contents after concurrent acquire: %v", files)
+	}
+	if _, st, _ := Acquire("yeast", snapTestScale, dir); !st.Hit {
+		t.Fatal("artifact invalid after concurrent acquire")
+	}
+}
+
+// buildArtifact frames an arbitrary payload as a snapshot artifact
+// with a valid header (magic, version, fingerprint, length, CRC) —
+// for adversarial decoder tests: everything outer validation accepts,
+// with a payload only the decoder can judge.
+func buildArtifact(payload []byte, fp [32]byte) []byte {
+	out := append([]byte(snapshotMagic), snapshotVersion)
+	out = append(out, fp[:]...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// TestSnapshotMalformedDeltaDoesNotPanic: a CRC-valid artifact whose
+// property block carries a huge index delta (a legal 10-byte LEB128
+// encoding of 1<<63) must decode to an error, not a wrapped-negative
+// slice index and a process panic.
+func TestSnapshotMalformedDeltaDoesNotPanic(t *testing.T) {
+	var fp [32]byte
+	var p []byte
+	p = enc.Uvarint(p, 0) // rawJSON
+	p = enc.Uvarint(p, 2) // V
+	p = enc.Uvarint(p, 0) // E
+	p = enc.Uvarint(p, 1) // one string
+	p = enc.Uvarint(p, 1)
+	p = append(p, 'k')
+	// vertex prop section: 1 column (key id 0), one shard block.
+	p = enc.Uvarint(p, 1)
+	p = enc.Uvarint(p, 0)
+	var blk []byte
+	blk = enc.Uvarint(blk, 1)     // one entry
+	blk = enc.Uvarint(blk, 1<<63) // poisoned delta
+	blk = append(blk, snapNil)    // value
+	blk = enc.Uvarint(blk, 0)     // no empties
+	p = enc.Uvarint(p, uint64(len(blk)))
+	p = append(p, blk...)
+	// no edge blocks (E=0); edge prop section: 0 columns.
+	p = enc.Uvarint(p, 0)
+
+	if _, _, err := ReadSnapshot(bytes.NewReader(buildArtifact(p, fp)), fp); err == nil {
+		t.Fatal("poisoned delta decoded without error")
+	}
+
+	// Same poison in the empty-props list.
+	p = p[:0]
+	p = enc.Uvarint(p, 0) // rawJSON
+	p = enc.Uvarint(p, 2) // V
+	p = enc.Uvarint(p, 0) // E
+	p = enc.Uvarint(p, 0) // no strings
+	p = enc.Uvarint(p, 0) // 0 columns
+	blk = blk[:0]
+	blk = enc.Uvarint(blk, 1)     // one empty marker
+	blk = enc.Uvarint(blk, 1<<63) // poisoned delta
+	p = enc.Uvarint(p, uint64(len(blk)))
+	p = append(p, blk...)
+	p = enc.Uvarint(p, 0) // edge prop section: 0 columns
+	if _, _, err := ReadSnapshot(bytes.NewReader(buildArtifact(p, fp)), fp); err == nil {
+		t.Fatal("poisoned empty-list delta decoded without error")
+	}
+}
+
+// TestSnapshotHugeCountsRejectedCheaply: a tiny CRC-valid artifact
+// declaring astronomically many vertices must be rejected by the
+// payload-proportional bound before any large allocation; and a
+// corrupted (oversized) header length field — the one field outside
+// the CRC — must fail on short read, not size an allocation.
+func TestSnapshotHugeCountsRejectedCheaply(t *testing.T) {
+	var fp [32]byte
+	var p []byte
+	p = enc.Uvarint(p, 0)     // rawJSON
+	p = enc.Uvarint(p, 1<<34) // absurd V for a payload this small
+	p = enc.Uvarint(p, 0)
+	if _, _, err := ReadSnapshot(bytes.NewReader(buildArtifact(p, fp)), fp); err == nil {
+		t.Fatal("absurd vertex count accepted")
+	}
+
+	// Oversized plen: flip the length field way up on a real artifact.
+	g := Yeast(snapTestScale)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, 0, fp); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint64(raw[37:45], 1<<39)
+	if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
+		t.Fatal("oversized length field accepted")
+	}
+}

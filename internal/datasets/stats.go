@@ -9,10 +9,17 @@ import (
 // component and diameter figures do), density, modularity of the
 // component partition, degree statistics, and a double-sweep BFS
 // estimate of the largest component's diameter.
+//
+// It works off the graph's shared CSR snapshot (core.Graph.Snapshot):
+// labels, degrees and the undirected adjacency are read from the
+// one-time snapshot instead of being rebuilt per call, and the BFS
+// uses a flat distance array — the per-call Adjacency()/Labels()
+// allocations of the original implementation are gone.
 func Stats(g *core.Graph) Table3Row {
 	n := g.NumVertices()
 	m := g.NumEdges()
-	row := Table3Row{V: n, E: m, L: len(g.Labels())}
+	snap := g.Snapshot()
+	row := Table3Row{V: n, E: m, L: len(snap.Labels)}
 	if n == 0 {
 		return row
 	}
@@ -79,13 +86,8 @@ func Stats(g *core.Graph) Table3Row {
 	}
 
 	// Degrees (undirected, as in Table 3's Avg = 2|E|/|V|).
-	deg := make([]int, n)
-	for i := range g.EdgeL {
-		deg[g.EdgeL[i].Src]++
-		deg[g.EdgeL[i].Dst]++
-	}
-	for _, d := range deg {
-		if d > row.MaxDeg {
+	for v := 0; v < n; v++ {
+		if d := snap.Degree(v); d > row.MaxDeg {
 			row.MaxDeg = d
 		}
 	}
@@ -95,7 +97,6 @@ func Stats(g *core.Graph) Table3Row {
 	// (exact diameters are infeasible at these sizes; the double sweep
 	// is a standard tight lower bound).
 	if m > 0 {
-		adj := g.Adjacency()
 		var seed int
 		for i := 0; i < n; i++ {
 			if find(int32(i)) == maxComp {
@@ -103,28 +104,33 @@ func Stats(g *core.Graph) Table3Row {
 				break
 			}
 		}
-		far, _ := bfsFarthest(adj, seed)
-		far2, dist := bfsFarthest(adj, far)
+		far, _ := bfsFarthest(snap, seed)
+		far2, dist := bfsFarthest(snap, far)
 		_ = far2
 		row.Diameter = dist
 	}
 	return row
 }
 
-// bfsFarthest returns the vertex farthest from start and its distance.
-func bfsFarthest(adj [][]int, start int) (int, int) {
-	dist := make(map[int]int, 1024)
+// bfsFarthest returns the vertex farthest from start and its distance,
+// walking the CSR snapshot's undirected adjacency with a flat distance
+// array.
+func bfsFarthest(snap *core.CSR, start int) (int, int) {
+	dist := make([]int32, snap.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
 	dist[start] = 0
-	frontier := []int{start}
-	farNode, farDist := start, 0
+	frontier := []int32{int32(start)}
+	farNode, farDist := int32(start), int32(0)
 	for len(frontier) > 0 {
-		var next []int
+		var next []int32
 		for _, v := range frontier {
-			for _, w := range adj[v] {
-				if _, seen := dist[w]; seen {
+			d := dist[v] + 1
+			for _, w := range snap.Und(int(v)) {
+				if dist[w] >= 0 {
 					continue
 				}
-				d := dist[v] + 1
 				dist[w] = d
 				if d > farDist {
 					farNode, farDist = w, d
@@ -134,7 +140,7 @@ func bfsFarthest(adj [][]int, start int) (int, int) {
 		}
 		frontier = next
 	}
-	return farNode, farDist
+	return int(farNode), int(farDist)
 }
 
 // PickRandom draws deterministic benchmark parameters from a dataset
@@ -148,15 +154,13 @@ type Picks struct {
 }
 
 // Pick samples k connected vertices and k edges with the given seed.
+// Degrees come from the graph's shared CSR snapshot, so repeated calls
+// (one per engine cell) no longer rebuild a degree array each time.
 func Pick(g *core.Graph, seed int64, k int) Picks {
-	deg := make([]int, g.NumVertices())
-	for i := range g.EdgeL {
-		deg[g.EdgeL[i].Src]++
-		deg[g.EdgeL[i].Dst]++
-	}
+	snap := g.Snapshot()
 	var connected []int
-	for v, d := range deg {
-		if d > 0 {
+	for v, n := 0, g.NumVertices(); v < n; v++ {
+		if snap.Degree(v) > 0 {
 			connected = append(connected, v)
 		}
 	}

@@ -93,3 +93,34 @@ func floatBits(f float64) uint64 {
 	}
 	return u | (1 << 63)
 }
+
+// --- variable-length encodings (dataset snapshots) ---
+//
+// Unlike the order-preserving encodings above, these optimize for
+// density: the binary dataset snapshots (internal/datasets) store
+// counts, dense indexes and deltas, which are overwhelmingly small
+// non-negative numbers. Truncated input is reported via ok=false
+// instead of panicking, because snapshot files are untrusted (a
+// half-written artifact must fall back to regeneration, not crash).
+
+// Uvarint appends x in unsigned LEB128 form.
+func Uvarint(b []byte, x uint64) []byte {
+	return binary.AppendUvarint(b, x)
+}
+
+// TakeUvarint decodes a Uvarint from the front of b. ok is false when b
+// is truncated or malformed.
+func TakeUvarint(b []byte) (x uint64, rest []byte, ok bool) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return x, b[n:], true
+}
+
+// Zigzag maps a signed integer to an unsigned one with small absolute
+// values staying small: 0,-1,1,-2,... → 0,1,2,3,...
+func Zigzag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

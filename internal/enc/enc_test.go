@@ -105,3 +105,38 @@ func sign(n int) int {
 	}
 	return 0
 }
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		b := Uvarint(nil, x)
+		got, rest, ok := TakeUvarint(b)
+		return ok && got == x && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Truncated and empty inputs must report !ok, never panic.
+	full := Uvarint(nil, 1<<40)
+	for i := 0; i < len(full); i++ {
+		if _, _, ok := TakeUvarint(full[:i]); ok {
+			t.Errorf("truncated uvarint of %d bytes decoded", i)
+		}
+	}
+	// Overlong encoding (11 continuation bytes) is malformed.
+	if _, _, ok := TakeUvarint([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}); ok {
+		t.Error("overlong uvarint decoded")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(x int64) bool { return Unzigzag(Zigzag(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for i, want := range []uint64{0, 1, 2, 3, 4} {
+		xs := []int64{0, -1, 1, -2, 2}
+		if Zigzag(xs[i]) != want {
+			t.Errorf("Zigzag(%d) = %d, want %d", xs[i], Zigzag(xs[i]), want)
+		}
+	}
+}

@@ -427,11 +427,30 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),
 	}
+	// Pre-size the document and index maps from the CSR snapshot: on a
+	// fresh engine the final cardinalities are known exactly, so the
+	// load pays no incremental map growth. Only vertices with edges get
+	// pre-sized adjacency slices — creating entries for isolated
+	// vertices would change the space accounting.
+	snap := g.Snapshot()
+	if len(e.vdocs) == 0 && len(e.edocs) == 0 {
+		e.vdocs = make(map[core.ID][]byte, g.NumVertices())
+		e.edocs = make(map[core.ID][]byte, g.NumEdges())
+		e.edgeIdx = make(map[core.ID]edgeEntry, g.NumEdges())
+		e.outIdx = make(map[core.ID][]core.ID, g.NumVertices())
+		e.inIdx = make(map[core.ID][]core.ID, g.NumVertices())
+	}
 	for i := range g.VProps {
 		id := core.ID(e.nextID)
 		e.nextID++
 		e.vdocs[id] = e.encodeVertexDoc(id, g.VProps[i])
 		res.VertexIDs[i] = id
+		if d := snap.OutDegree(i); d > 0 && e.outIdx[id] == nil {
+			e.outIdx[id] = make([]core.ID, 0, d)
+		}
+		if d := snap.InDegree(i); d > 0 && e.inIdx[id] == nil {
+			e.inIdx[id] = make([]core.ID, 0, d)
+		}
 	}
 	for i := range g.EdgeL {
 		er := &g.EdgeL[i]

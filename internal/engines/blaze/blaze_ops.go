@@ -431,7 +431,10 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),
 	}
-	var sts []statement
+	// Exact statement count from the CSR snapshot: one rdf:type per
+	// vertex, three reification triples per edge, one per property.
+	snap := g.Snapshot()
+	sts := make([]statement, 0, g.NumVertices()+3*g.NumEdges()+snap.VPropTotal+snap.EPropTotal)
 	for i := range g.VProps {
 		v := mkTerm(tagVertex, e.nextV)
 		e.nextV++

@@ -695,6 +695,14 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),
 	}
+	// Reserve the store files up front — the record counts are known
+	// exactly from the CSR snapshot (one node record per vertex, one
+	// relationship record per edge, one property record per property),
+	// so the loader skips every doubling copy of incremental growth.
+	snap := g.Snapshot()
+	e.nodes.Reserve(int64(g.NumVertices()))
+	e.rels.Reserve(int64(g.NumEdges()))
+	e.props.Reserve(int64(snap.VPropTotal + snap.EPropTotal))
 	for i := range g.VProps {
 		res.VertexIDs[i] = e.addVertexDirect(g.VProps[i])
 	}

@@ -487,8 +487,24 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 	for i := range res.VertexIDs {
 		res.VertexIDs[i] = makeRID(vertexCluster, base+int64(i))
 	}
+	// The per-vertex RIDBAG lists are carved out of two shared arenas,
+	// pre-sized from the CSR snapshot's degree prefix sums: one edge
+	// contributes exactly one out- and one in-slot, so the appends
+	// below never reallocate. Full-capacity sub-slices keep appends
+	// inside each vertex's own range.
+	snap := g.Snapshot()
 	outs := make([][]core.ID, g.NumVertices())
 	ins := make([][]core.ID, g.NumVertices())
+	outArena := make([]core.ID, g.NumEdges())
+	inArena := make([]core.ID, g.NumEdges())
+	var oo, io int
+	for v := range outs {
+		od, id := snap.OutDegree(v), snap.InDegree(v)
+		outs[v] = outArena[oo : oo : oo+od]
+		ins[v] = inArena[io : io : io+id]
+		oo += od
+		io += id
+	}
 	for i := range g.EdgeL {
 		er := &g.EdgeL[i]
 		cid := e.clusterFor(er.Label)

@@ -199,6 +199,28 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),
 	}
+	// On a fresh engine the per-edge link maps reach exactly |E|
+	// entries and the adjacency-bitmap maps one entry per vertex with
+	// that direction — pre-size them from the CSR snapshot so the
+	// (deliberately per-item, as in the paper) load path at least pays
+	// no incremental map growth.
+	if e.nodes.Len() == 0 && e.edges.Len() == 0 {
+		snap := g.Snapshot()
+		e.srcOf = make(map[uint64]uint64, g.NumEdges())
+		e.dstOf = make(map[uint64]uint64, g.NumEdges())
+		e.labelOf = make(map[uint64]uint32, g.NumEdges())
+		var nOut, nIn int
+		for v, n := 0, g.NumVertices(); v < n; v++ {
+			if snap.OutDegree(v) > 0 {
+				nOut++
+			}
+			if snap.InDegree(v) > 0 {
+				nIn++
+			}
+		}
+		e.out = make(map[uint64]*bitmap.Bitmap, nOut)
+		e.in = make(map[uint64]*bitmap.Bitmap, nIn)
+	}
 	for i := range g.VProps {
 		id, err := e.AddVertex(g.VProps[i])
 		if err != nil {

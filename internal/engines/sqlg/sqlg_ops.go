@@ -427,6 +427,7 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 			ensureColumn(e.vtab, k)
 		}
 	}
+	e.vtab.Reserve(g.NumVertices())
 	cols := e.vtab.Columns()
 	for i := range g.VProps {
 		id := e.nextVertex
@@ -449,6 +450,14 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		for k := range g.EdgeL[i].Props {
 			ensureColumn(t, k)
 		}
+	}
+	// Every label's table now exists (created above, in first-encounter
+	// order, which fixes the table-id part of the edge IDs); reserve
+	// each to its exact row count from the CSR snapshot.
+	snap := g.Snapshot()
+	for li, label := range snap.Labels {
+		t, _ := e.edgeTable(label)
+		t.Reserve(int(snap.LabelCount[li]))
 	}
 	for i := range g.EdgeL {
 		er := &g.EdgeL[i]

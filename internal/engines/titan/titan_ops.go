@@ -506,7 +506,11 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		EdgeIDs:   make([]core.ID, g.NumEdges()),
 	}
 	type kvPair struct{ k, v []byte }
-	var pairs []kvPair
+	// The CSR snapshot knows the exact pair count up front: one exists
+	// row per object, three rows per edge (edge row + out/in columns),
+	// one row per property.
+	snap := g.Snapshot()
+	pairs := make([]kvPair, 0, g.NumVertices()+3*g.NumEdges()+snap.VPropTotal+snap.EPropTotal)
 	for i := range g.VProps {
 		id := core.ID(e.nextID)
 		e.nextID++

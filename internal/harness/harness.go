@@ -75,6 +75,14 @@ type Config struct {
 	// uninterrupted run. A checkpoint written under a different
 	// Fingerprint is rejected; a missing file starts a fresh run.
 	Resume bool
+	// DatasetCacheDir, when non-empty, reuses binary dataset snapshots
+	// from this directory instead of regenerating each graph, and
+	// populates it on misses (see internal/datasets, Acquire). Cached
+	// graphs are byte-identical to generated ones, so the cache is —
+	// like the worker counts — deliberately absent from the checkpoint
+	// fingerprint: where a graph came from never changes what a run
+	// measures.
+	DatasetCacheDir string
 	// CrashAfterCells, when positive, exits the process (code 1) after
 	// that many cells have been streamed to the checkpoint — fault
 	// injection for exercising checkpoint/resume, used by the CI smoke
@@ -241,10 +249,13 @@ func (r *Runner) progressf(format string, args ...any) {
 	}
 }
 
-// dataset returns the cache entry for a dataset, generating the graph
-// and its GraphSON raw size on first use. Concurrent callers block on
-// the entry's Once, so each graph is generated exactly once and shared
-// read-only afterwards.
+// dataset returns the cache entry for a dataset, acquiring the graph
+// and its GraphSON raw size on first use. Acquisition goes through the
+// dataset artifact cache when Config.DatasetCacheDir is set — a warm
+// hit decodes the content-addressed snapshot instead of regenerating —
+// and plain generation otherwise; the graph is identical either way.
+// Concurrent callers block on the entry's Once, so each graph is
+// acquired exactly once per run and shared read-only afterwards.
 func (r *Runner) dataset(name string) *datasetCache {
 	r.mu.Lock()
 	c, ok := r.graphs[name]
@@ -254,8 +265,31 @@ func (r *Runner) dataset(name string) *datasetCache {
 	}
 	r.mu.Unlock()
 	c.once.Do(func() {
-		c.g = datasets.ByName(name).Generate(r.cfg.Scale)
-		c.rawJSON = rawJSONSize(c.g)
+		g, st, err := datasets.Acquire(name, r.cfg.Scale, r.cfg.DatasetCacheDir)
+		if err != nil {
+			// NewRunner validated every dataset name up front.
+			panic(err)
+		}
+		if st.Err != nil {
+			r.progressf("dataset %s: %v", name, st.Err)
+		}
+		if st.Hit {
+			r.progressf("dataset %s: warm cache hit (%d vertices, %d edges)", name, g.NumVertices(), g.NumEdges())
+		} else {
+			suffix := ""
+			if st.Stored {
+				suffix = " (snapshot cached)"
+			}
+			r.progressf("dataset %s: generated %d vertices, %d edges%s", name, g.NumVertices(), g.NumEdges(), suffix)
+		}
+		c.g = g
+		// A warm artifact carries the GraphSON size; otherwise stream-
+		// count it here (the cold cached path computed it while storing).
+		if st.RawJSON >= 0 {
+			c.rawJSON = st.RawJSON
+		} else {
+			c.rawJSON = rawJSONSize(g)
+		}
 	})
 	return c
 }

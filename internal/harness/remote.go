@@ -62,6 +62,12 @@ type WorkerHandler struct {
 	// CellWorkers is applied to every accepted run's configuration
 	// (it never changes results, only this worker's wall-clock time).
 	CellWorkers int
+	// DatasetCacheDir is applied to every accepted run's configuration:
+	// a fleet of workers pointed at warm caches skips the V+E dataset
+	// generation entirely, per process. Like CellWorkers it never
+	// changes results — cached graphs are byte-identical to generated
+	// ones — so it stays the worker's own business.
+	DatasetCacheDir string
 	// Progress, when non-nil, receives the per-cell progress lines of
 	// accepted runs.
 	Progress io.Writer
@@ -99,6 +105,7 @@ func (h *WorkerHandler) Accept(hello remote.Hello) (remote.Session, error) {
 	}
 	cfg := configFromFingerprint(fp)
 	cfg.CellWorkers = h.CellWorkers
+	cfg.DatasetCacheDir = h.DatasetCacheDir
 	cfg.Progress = h.Progress
 	r, err := NewRunner(cfg)
 	if err != nil {
@@ -167,12 +174,15 @@ func dialRemotes(addrs []string, fp Fingerprint) ([]*remote.Client, error) {
 // remoteSlot runs one dispatch slot of a remote worker: it pulls
 // cells from the shared queue, ships them over the wire, and feeds
 // the results into the same completion path local workers use. Any
-// failure — worker death, drain, a refused cell — reassigns the cell
-// to the local queue and retires the slot; the grid always completes
-// with at least the local workers.
-func (r *Runner) remoteSlot(cl *remote.Client, sched *cellScheduler, jobs []gridJob, cells []cellResult, aborted *atomic.Bool, finish func(int)) {
+// failure — worker death, drain, a refused cell — requeues the cell
+// and retires the slot. The requeued cell is first offered to a
+// *different* live remote (the dead worker is excluded from ever
+// seeing it again); only when no other live remote exists does it
+// fall back to the local-only queue. Either way the grid always
+// completes with at least the local workers.
+func (r *Runner) remoteSlot(id int, cl *remote.Client, sched *cellScheduler, jobs []gridJob, cells []cellResult, aborted *atomic.Bool, finish func(int)) {
 	for {
-		i, ok := sched.nextRemote()
+		i, ok := sched.nextRemote(id)
 		if !ok {
 			return
 		}
@@ -205,8 +215,11 @@ func (r *Runner) remoteSlot(cl *remote.Client, sched *cellScheduler, jobs []grid
 				continue
 			}
 		}
-		r.progressf("remote %s: cell %d reassigned locally: %v", cl.Addr(), i, err)
-		sched.requeueLocal(i)
+		if sched.requeueRemote(i, id) {
+			r.progressf("remote %s: cell %d reassigned to another live remote: %v", cl.Addr(), i, err)
+		} else {
+			r.progressf("remote %s: cell %d reassigned locally: %v", cl.Addr(), i, err)
+		}
 		return
 	}
 }

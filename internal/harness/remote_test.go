@@ -192,10 +192,15 @@ func crashingWorker(t *testing.T, accepted chan<- struct{}) string {
 			return
 		}
 		// Advertise enough slots to be offered cells even on a
-		// single-CPU box where the local worker starts first.
+		// single-CPU box where the local worker starts first. The fake
+		// never emits heartbeats, so the advertised interval must be
+		// generous enough that the scheduler's stall deadline does not
+		// declare it dead while the datasets are still being generated
+		// — the crash must be observed on the dropped connection, mid-
+		// cell, not on a pre-grid liveness timeout.
 		writeFrame(conn, map[string]any{
 			"type":    "welcome",
-			"welcome": map[string]any{"ok": true, "capacity": 4, "heartbeat_ns": int64(50 * time.Millisecond)},
+			"welcome": map[string]any{"ok": true, "capacity": 4, "heartbeat_ns": int64(5 * time.Second)},
 		})
 		// Take one cell, then die without answering; any further cells
 		// in flight die with the connection.
@@ -241,6 +246,53 @@ func TestRemoteWorkerCrashReassignedLocally(t *testing.T) {
 		t.Fatal("the crashing worker never received a cell")
 	}
 	if !strings.Contains(progress.String(), "reassigned locally") {
+		t.Fatalf("no reassignment recorded in progress:\n%s", progress.String())
+	}
+	var buf bytes.Buffer
+	if err := ExportJSON(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, buf.Bytes()) {
+		t.Fatal("export after worker crash diverges from all-local run")
+	}
+}
+
+// TestRemoteWorkerCrashWithSecondRemote: when one of two remote
+// workers dies mid-cell, the grid must still complete byte-identically
+// — the dead worker's cell is requeued (to the surviving remote when
+// its slots are still live, else locally; the scheduler-level
+// preference is pinned by TestSchedulerRequeuePrefersAnotherRemote)
+// and the dead worker never sees it again.
+func TestRemoteWorkerCrashWithSecondRemote(t *testing.T) {
+	// Both tiny datasets: the 10-cell grid exceeds the slot count
+	// (4 crasher + 2 healthy + 1 local), so every slot — including the
+	// crasher's — is guaranteed to receive a cell at the start.
+	cfg := tinyConfig()
+	cfg.BatchSize = 2
+	cfg.FrozenClock = true
+	cfg.Workers = 1
+
+	local, _ := exportRun(t, cfg)
+
+	accepted := make(chan struct{})
+	cfg.Remote = []string{crashingWorker(t, accepted), startWorker(t, &WorkerHandler{}, 2)}
+
+	var progress bytes.Buffer
+	cfg.Progress = &progress
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-accepted:
+	default:
+		t.Fatal("the crashing worker never received a cell")
+	}
+	if !strings.Contains(progress.String(), "reassigned") {
 		t.Fatalf("no reassignment recorded in progress:\n%s", progress.String())
 	}
 	var buf bytes.Buffer

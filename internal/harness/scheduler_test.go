@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerRequeuePrefersAnotherRemote pins the requeue contract:
+// a cell whose remote executor died is first offered to a different
+// live remote (with the dead one excluded from ever seeing it again),
+// and falls back to the local-only queue only when every live remote
+// has failed it.
+func TestSchedulerRequeuePrefersAnotherRemote(t *testing.T) {
+	s := newCellScheduler([]int{0, 1, 2})
+	const workerA, workerB = 0, 1
+	s.registerRemoteSlot(workerA)
+	s.registerRemoteSlot(workerB)
+
+	i, ok := s.nextRemote(workerA)
+	if !ok || i != 0 {
+		t.Fatalf("nextRemote(A) = %d,%v, want 0,true", i, ok)
+	}
+	// A dies mid-cell: with B live, the cell must stay remotely
+	// retriable and must jump the queue (it is the oldest cell).
+	if !s.requeueRemote(0, workerA) {
+		t.Fatal("requeue with another live remote went local")
+	}
+	// A (or a second slot of A) must never see cell 0 again.
+	if i, ok := s.nextRemote(workerA); !ok || i != 1 {
+		t.Fatalf("nextRemote(A) after requeue = %d,%v, want 1,true (cell 0 excluded)", i, ok)
+	}
+	// B gets the requeued cell first.
+	if i, ok := s.nextRemote(workerB); !ok || i != 0 {
+		t.Fatalf("nextRemote(B) = %d,%v, want 0,true", i, ok)
+	}
+	// B dies on it too: no other live remote remains (A is excluded),
+	// so now it goes to the local-only queue.
+	if s.requeueRemote(0, workerB) {
+		t.Fatal("requeue with every live remote excluded stayed remote")
+	}
+	// No remote may take it from there; a local worker must.
+	if i, ok := s.nextRemote(workerB); !ok || i != 2 {
+		t.Fatalf("nextRemote(B) = %d,%v, want 2,true (cell 0 is local-only)", i, ok)
+	}
+	if i, ok := s.nextLocal(); !ok || i != 0 {
+		t.Fatalf("nextLocal = %d,%v, want 0,true", i, ok)
+	}
+	s.done() // cell 0 done locally
+	s.done() // cell 1 (A)
+	s.done() // cell 2 (B)
+	if _, ok := s.nextRemote(workerA); ok {
+		t.Fatal("drained scheduler handed a remote a cell")
+	}
+	if _, ok := s.nextLocal(); ok {
+		t.Fatal("drained scheduler handed a local worker a cell")
+	}
+}
+
+// TestSchedulerRequeueAfterRemoteRetired: when the only other remote
+// has already retired its slots, a failed cell must go straight to the
+// local queue — there is no live remote to wait for.
+func TestSchedulerRequeueAfterRemoteRetired(t *testing.T) {
+	s := newCellScheduler([]int{0})
+	const workerA, workerB = 0, 1
+	s.registerRemoteSlot(workerA)
+	s.registerRemoteSlot(workerB)
+
+	i, ok := s.nextRemote(workerA)
+	if !ok || i != 0 {
+		t.Fatalf("nextRemote(A) = %d,%v, want 0,true", i, ok)
+	}
+	// B's slot retires (shared queue was empty when it looked).
+	s.retireRemoteSlot(workerB)
+	if s.requeueRemote(0, workerA) {
+		t.Fatal("requeue stayed remote although the other remote retired")
+	}
+	if i, ok := s.nextLocal(); !ok || i != 0 {
+		t.Fatalf("nextLocal = %d,%v, want 0,true", i, ok)
+	}
+	s.done()
+}
+
+// TestSchedulerLocalWakesOnRetire: a local worker blocked on an
+// in-flight remote cell must wake up when the cell lands in a queue it
+// can serve — even via the remote-retirement path.
+func TestSchedulerLocalWakesOnRetire(t *testing.T) {
+	s := newCellScheduler([]int{0})
+	const workerA = 0
+	s.registerRemoteSlot(workerA)
+	if _, ok := s.nextRemote(workerA); !ok {
+		t.Fatal("no cell for remote")
+	}
+
+	got := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i, ok := s.nextLocal()
+		if ok {
+			got <- i
+			s.done()
+		}
+	}()
+	// Give the local worker a moment to block, then fail the cell on
+	// the only remote: it must land locally and wake the worker.
+	time.Sleep(10 * time.Millisecond)
+	if s.requeueRemote(0, workerA) {
+		t.Error("requeue stayed remote with a single excluded remote")
+	}
+	s.retireRemoteSlot(workerA)
+	select {
+	case i := <-got:
+		if i != 0 {
+			t.Fatalf("local worker got cell %d, want 0", i)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("local worker never woke up for the requeued cell")
+	}
+	wg.Wait()
+}

@@ -18,6 +18,7 @@ package pagefile
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 )
 
 // Store is a file of fixed-size records. Record 0 is valid; callers that
@@ -40,6 +41,19 @@ func NewStore(recSize int) *Store {
 
 // RecordSize returns the fixed record size.
 func (s *Store) RecordSize() int { return s.recSize }
+
+// Reserve grows the store's capacity to hold n additional records
+// without reallocation — the bulk-load pre-sizing hook: a loader that
+// knows its record count up front (via the dataset's CSR snapshot)
+// avoids the doubling copies of append. It never changes the store's
+// contents or IDs.
+func (s *Store) Reserve(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.buf = slices.Grow(s.buf, int(n)*s.recSize)
+	s.inUse = slices.Grow(s.inUse, int(n))
+}
 
 // Alloc reserves a record, reusing freed slots first, and returns its ID.
 func (s *Store) Alloc() int64 {
@@ -121,6 +135,15 @@ type Heap struct {
 
 // NewHeap returns an empty heap file.
 func NewHeap() *Heap { return &Heap{} }
+
+// Reserve grows the heap's capacity by n bytes (plus per-record
+// headers are the caller's business) without changing its contents.
+func (h *Heap) Reserve(n int64) {
+	if n <= 0 {
+		return
+	}
+	h.buf = slices.Grow(h.buf, int(n))
+}
 
 // Append writes a record and returns its physical offset.
 func (h *Heap) Append(rec []byte) int64 {

@@ -228,3 +228,41 @@ func TestQuickStoreAllocFreeInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStoreReserve(t *testing.T) {
+	s := NewStore(8)
+	id0 := s.Alloc()
+	s.Reserve(100)
+	if got, ok := s.Record(id0); !ok || len(got) != 8 {
+		t.Fatal("Reserve disturbed existing records")
+	}
+	if s.HighWater() != 1 || s.Live() != 1 {
+		t.Fatalf("Reserve changed accounting: high=%d live=%d", s.HighWater(), s.Live())
+	}
+	// The next 100 allocs must not reallocate the backing buffer.
+	rec0, _ := s.Record(id0)
+	p0 := &rec0[0]
+	for i := 0; i < 100; i++ {
+		s.Alloc()
+	}
+	rec0b, _ := s.Record(id0)
+	if p0 != &rec0b[0] {
+		t.Fatal("allocations within reserved capacity reallocated the buffer")
+	}
+	s.Reserve(0) // no-ops
+	s.Reserve(-1)
+}
+
+func TestHeapReserve(t *testing.T) {
+	h := NewHeap()
+	off := h.Append([]byte("abc"))
+	h.Reserve(1 << 12)
+	if got, ok := h.Read(off); !ok || string(got) != "abc" {
+		t.Fatal("Reserve disturbed heap contents")
+	}
+	if h.Bytes() != 4+3 {
+		t.Fatalf("Reserve changed the accounted size: %d", h.Bytes())
+	}
+	h.Reserve(0)
+	h.Reserve(-1)
+}

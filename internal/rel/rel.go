@@ -12,6 +12,7 @@ package rel
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -103,6 +104,19 @@ func (t *Table) Len() int { return len(t.pk) }
 // Stats returns planner counters (full scans, index seeks) for tests and
 // the harness's explain output.
 func (t *Table) Stats() (scans, seeks int) { return int(t.scans.Load()), int(t.seeks.Load()) }
+
+// Reserve grows the table's row storage for n additional rows without
+// reallocation, and pre-sizes the primary-key map when the table is
+// still empty — the bulk-load pre-sizing hook. Contents are unchanged.
+func (t *Table) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	t.rows = slices.Grow(t.rows, n)
+	if len(t.pk) == 0 {
+		t.pk = make(map[int64]int, n)
+	}
+}
 
 // Insert adds a row; the row's arity must match the schema and its id
 // must be fresh.

@@ -275,3 +275,27 @@ func TestQuickSelectEqMatchesScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTableReserve(t *testing.T) {
+	db := NewDB()
+	tb, err := db.CreateTable("t", "id", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Reserve(64)
+	for i := 0; i < 64; i++ {
+		if err := tb.Insert(Row{core.I(int64(i)), core.S("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tb.Len())
+	}
+	// Reserving a non-empty table must keep its rows and pk intact.
+	tb.Reserve(128)
+	if r, ok := tb.Get(17); !ok || r[1].Str() != "v" {
+		t.Fatal("Reserve disturbed existing rows")
+	}
+	tb.Reserve(0)
+	tb.Reserve(-1)
+}
