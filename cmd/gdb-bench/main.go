@@ -22,6 +22,10 @@
 //	-dataset-cache reuse dataset snapshot artifacts from this directory
 //	              (content-addressed; cold runs populate it, warm runs
 //	              skip generation — graphs are byte-identical either way)
+//	-serve-artifacts stream dataset artifacts to remote workers that
+//	              request them (default true) — a cold worker fleet
+//	              seeds itself from this scheduler instead of
+//	              regenerating every dataset locally
 //	-checkpoint   stream each completed grid cell to this JSONL file
 //	-resume       replay a compatible checkpoint from -checkpoint and run
 //	              only the missing cells
@@ -69,6 +73,7 @@ type options struct {
 	genWorkers   int
 	remote       string
 	datasetCache string
+	serveArts    bool
 	checkpoint   string
 	resume       bool
 	status       bool
@@ -95,6 +100,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.remote, "remote", "", "comma-separated gdb-worker addresses (host:port) adding remote grid slots")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.BoolVar(&o.serveArts, "serve-artifacts", true, "stream dataset artifacts to remote workers that request them")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "stream completed grid cells to this JSONL file")
 	fs.BoolVar(&o.resume, "resume", false, "replay a compatible -checkpoint file and run only the missing cells")
 	fs.BoolVar(&o.status, "status", false, "print the -checkpoint file's progress and exit without executing")
@@ -161,6 +167,7 @@ func main() {
 		CellWorkers:     o.cellWorkers,
 		Remote:          splitList(o.remote),
 		DatasetCacheDir: o.datasetCache,
+		ServeArtifacts:  o.serveArts,
 		CheckpointPath:  o.checkpoint,
 		Resume:          o.resume,
 		CrashAfterCells: o.crashAfter,

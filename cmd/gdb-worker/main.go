@@ -15,6 +15,10 @@
 //	-dataset-cache reuse dataset snapshot artifacts from this directory;
 //	              a fleet of workers pointed at warm caches skips the
 //	              per-process V+E dataset generation entirely
+//	-artifact-fetch fetch missing dataset artifacts from the scheduler
+//	              over the session connection before generating locally
+//	              (default true) — a cold worker seeds its cache off the
+//	              scheduler's warm one instead of regenerating graphs
 //	-heartbeat    liveness interval announced to schedulers (default 2s)
 //	-v            print per-cell progress to stderr
 //
@@ -44,13 +48,14 @@ import (
 // options holds every gdb-worker flag, declared through defineFlags so
 // the doc-sync test can enumerate them.
 type options struct {
-	listen       string
-	capacity     int
-	cellWorkers  int
-	genWorkers   int
-	datasetCache string
-	heartbeat    time.Duration
-	verbose      bool
+	listen        string
+	capacity      int
+	cellWorkers   int
+	genWorkers    int
+	datasetCache  string
+	artifactFetch bool
+	heartbeat     time.Duration
+	verbose       bool
 }
 
 func defineFlags(fs *flag.FlagSet) *options {
@@ -60,6 +65,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.cellWorkers, "cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.BoolVar(&o.artifactFetch, "artifact-fetch", true, "fetch missing dataset artifacts from the scheduler before generating locally")
 	fs.DurationVar(&o.heartbeat, "heartbeat", remote.DefaultHeartbeat, "liveness interval announced to schedulers")
 	fs.BoolVar(&o.verbose, "v", false, "print per-cell progress to stderr")
 	return o
@@ -70,7 +76,7 @@ func main() {
 	flag.Parse()
 
 	datasets.SetGenWorkers(o.genWorkers)
-	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache}
+	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache, FetchArtifacts: o.artifactFetch}
 	if o.verbose {
 		h.Progress = os.Stderr
 	}

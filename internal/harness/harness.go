@@ -83,6 +83,14 @@ type Config struct {
 	// fingerprint: where a graph came from never changes what a run
 	// measures.
 	DatasetCacheDir string
+	// ServeArtifacts streams dataset snapshot artifacts to remote
+	// workers that request them over the wire, so a cold worker fleet
+	// seeds itself from this scheduler instead of regenerating every
+	// dataset (gdb-bench enables it by default; see -serve-artifacts).
+	// Serving is read-only and — like DatasetCacheDir — never changes
+	// results: a shipped artifact is re-verified on arrival and decodes
+	// to the exact graph the worker would have generated.
+	ServeArtifacts bool
 	// CrashAfterCells, when positive, exits the process (code 1) after
 	// that many cells have been streamed to the checkpoint — fault
 	// injection for exercising checkpoint/resume, used by the CI smoke
@@ -162,8 +170,12 @@ type Results struct {
 type Runner struct {
 	cfg Config
 
-	mu     sync.Mutex // guards graphs and Progress writes
+	mu     sync.Mutex // guards graphs, fetch and Progress writes
 	graphs map[string]*datasetCache
+	// fetch, when non-nil, is consulted by dataset acquisition after a
+	// local cache miss and before falling back to generation — the
+	// worker side of artifact shipping (see SetDatasetFetcher).
+	fetch datasets.FetchFunc
 
 	// now and since default to the real clock; Config.FrozenClock and
 	// tests substitute a frozen clock so two runs produce byte-identical
@@ -249,13 +261,34 @@ func (r *Runner) progressf(format string, args ...any) {
 	}
 }
 
+// SetDatasetFetcher installs a remote artifact source for dataset
+// acquisition: on a local cache miss the fetcher is tried before
+// falling back to generation (the worker half of artifact shipping —
+// remote workers point it at their scheduler's artifact stream). A
+// fetched graph is byte-identical to a generated one, so the fetcher —
+// like the cache dir — never changes what a run measures. Safe to call
+// while cells execute; datasets already acquired keep their graphs.
+func (r *Runner) SetDatasetFetcher(f datasets.FetchFunc) {
+	r.mu.Lock()
+	r.fetch = f
+	r.mu.Unlock()
+}
+
+func (r *Runner) datasetFetcher() datasets.FetchFunc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fetch
+}
+
 // dataset returns the cache entry for a dataset, acquiring the graph
-// and its GraphSON raw size on first use. Acquisition goes through the
-// dataset artifact cache when Config.DatasetCacheDir is set — a warm
-// hit decodes the content-addressed snapshot instead of regenerating —
-// and plain generation otherwise; the graph is identical either way.
-// Concurrent callers block on the entry's Once, so each graph is
-// acquired exactly once per run and shared read-only afterwards.
+// and its GraphSON raw size on first use. Acquisition tries, in order:
+// the artifact cache when Config.DatasetCacheDir is set (a warm hit
+// decodes the content-addressed snapshot), the remote fetcher when one
+// was installed via SetDatasetFetcher (a cold worker pulls the
+// artifact from its scheduler), and generation; the graph is identical
+// whichever layer served it. Concurrent callers block on the entry's
+// Once, so each graph is acquired exactly once per run and shared
+// read-only afterwards.
 func (r *Runner) dataset(name string) *datasetCache {
 	r.mu.Lock()
 	c, ok := r.graphs[name]
@@ -265,7 +298,7 @@ func (r *Runner) dataset(name string) *datasetCache {
 	}
 	r.mu.Unlock()
 	c.once.Do(func() {
-		g, st, err := datasets.Acquire(name, r.cfg.Scale, r.cfg.DatasetCacheDir)
+		g, st, err := datasets.AcquireVia(name, r.cfg.Scale, r.cfg.DatasetCacheDir, r.datasetFetcher())
 		if err != nil {
 			// NewRunner validated every dataset name up front.
 			panic(err)
@@ -273,9 +306,12 @@ func (r *Runner) dataset(name string) *datasetCache {
 		if st.Err != nil {
 			r.progressf("dataset %s: %v", name, st.Err)
 		}
-		if st.Hit {
+		switch {
+		case st.Hit:
 			r.progressf("dataset %s: warm cache hit (%d vertices, %d edges)", name, g.NumVertices(), g.NumEdges())
-		} else {
+		case st.Fetched:
+			r.progressf("fetched %s from scheduler (%d vertices, %d edges)", name, g.NumVertices(), g.NumEdges())
+		default:
 			suffix := ""
 			if st.Stored {
 				suffix = " (snapshot cached)"

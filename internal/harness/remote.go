@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,14 @@ type WorkerHandler struct {
 	// changes results — cached graphs are byte-identical to generated
 	// ones — so it stays the worker's own business.
 	DatasetCacheDir string
+	// FetchArtifacts lets accepted runs pull missing dataset artifacts
+	// from their scheduler over the session connection before falling
+	// back to local generation — the cold-fleet seeding path (gdb-worker
+	// enables it by default; see -artifact-fetch). Fetched artifacts
+	// are re-verified by fingerprint and CRC on arrival and land in
+	// DatasetCacheDir via the same atomic write path generated ones
+	// use, so — like the cache itself — fetching never changes results.
+	FetchArtifacts bool
 	// Progress, when non-nil, receives the per-cell progress lines of
 	// accepted runs.
 	Progress io.Writer
@@ -81,7 +90,7 @@ type WorkerHandler struct {
 }
 
 // Accept implements remote.Handler.
-func (h *WorkerHandler) Accept(hello remote.Hello) (remote.Session, error) {
+func (h *WorkerHandler) Accept(hello remote.Hello, artifacts remote.ArtifactFetcher) (remote.Session, error) {
 	catalog := h.Catalog
 	if catalog == "" {
 		catalog = CatalogFingerprint()
@@ -100,21 +109,29 @@ func (h *WorkerHandler) Accept(hello remote.Hello) (remote.Session, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	key := string(hello.Config)
-	if h.runner != nil && h.key == key {
-		return &workerSession{r: h.runner}, nil
+	r := h.runner
+	if r == nil || h.key != key {
+		cfg := configFromFingerprint(fp)
+		cfg.CellWorkers = h.CellWorkers
+		cfg.DatasetCacheDir = h.DatasetCacheDir
+		cfg.Progress = h.Progress
+		var err error
+		r, err = NewRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if jobs := r.planJobs(); len(jobs) != fp.Jobs {
+			return nil, fmt.Errorf("grid plan drift: scheduler planned %d cells, worker plans %d", fp.Jobs, len(jobs))
+		}
+		h.key, h.runner = key, r
 	}
-	cfg := configFromFingerprint(fp)
-	cfg.CellWorkers = h.CellWorkers
-	cfg.DatasetCacheDir = h.DatasetCacheDir
-	cfg.Progress = h.Progress
-	r, err := NewRunner(cfg)
-	if err != nil {
-		return nil, err
+	// Point dataset acquisition at this session's scheduler (latest
+	// session wins — an older session's connection may already be
+	// gone). A fetch over a dead connection just errors, and the
+	// acquire path falls back to local generation.
+	if h.FetchArtifacts && artifacts != nil {
+		r.SetDatasetFetcher(artifacts.FetchArtifact)
 	}
-	if jobs := r.planJobs(); len(jobs) != fp.Jobs {
-		return nil, fmt.Errorf("grid plan drift: scheduler planned %d cells, worker plans %d", fp.Jobs, len(jobs))
-	}
-	h.key, h.runner = key, r
 	return &workerSession{r: r}, nil
 }
 
@@ -147,11 +164,53 @@ func (s *workerSession) Execute(spec remote.CellSpec) ([]byte, error) {
 	return json.Marshal(&rec)
 }
 
+// OpenArtifact implements remote.ArtifactProvider: it serves one
+// dataset snapshot artifact to a fetching worker, out of the
+// scheduler's own -dataset-cache when it holds the artifact (acquiring
+// the dataset — and thereby populating the cache — first if needed),
+// and by encoding the in-memory graph straight onto the wire
+// otherwise. Snapshot encoding is deterministic, so both paths ship
+// the same bytes. Requests whose content address does not match this
+// run's configuration are refused: the scheduler only ever serves the
+// artifacts its own grid uses.
+func (r *Runner) OpenArtifact(name string, fp [32]byte) (io.ReadCloser, error) {
+	known := false
+	for _, d := range r.cfg.Datasets {
+		known = known || d == name
+	}
+	spec := datasets.ByName(name)
+	if !known || spec == nil {
+		return nil, fmt.Errorf("dataset %q is not part of this run", name)
+	}
+	want := datasets.SnapshotFingerprint(name, r.cfg.Scale, spec.Seed)
+	if fp != want {
+		return nil, fmt.Errorf("artifact fingerprint mismatch for %s (requested %x…, this run serves %x…)", name, fp[:6], want[:6])
+	}
+	// Acquiring the dataset populates the cache on a miss (when one is
+	// configured) and pins the graph for the in-memory fallback.
+	ds := r.dataset(name)
+	if dir := r.cfg.DatasetCacheDir; dir != "" {
+		if f, err := os.Open(datasets.SnapshotPath(dir, name, fp)); err == nil {
+			r.progressf("artifact %s: streaming cached snapshot to remote worker", name)
+			return f, nil
+		}
+	}
+	// No on-disk artifact (no cache dir, or the store failed): encode
+	// the graph for the wire directly.
+	r.progressf("artifact %s: streaming snapshot to remote worker", name)
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(datasets.WriteSnapshot(pw, ds.g, ds.rawJSON, fp))
+	}()
+	return pr, nil
+}
+
 // dialRemotes connects and handshakes every configured worker
 // address. Any failure is fatal to the run: the user asked for those
 // workers, and silently degrading to local-only would hide a typo or
-// a mismatched build for the whole grid.
-func dialRemotes(addrs []string, fp Fingerprint) ([]*remote.Client, error) {
+// a mismatched build for the whole grid. artifacts, when non-nil,
+// serves the workers' dataset artifact requests (Config.ServeArtifacts).
+func dialRemotes(addrs []string, fp Fingerprint, artifacts remote.ArtifactProvider) ([]*remote.Client, error) {
 	cfgJSON, err := json.Marshal(fp)
 	if err != nil {
 		return nil, fmt.Errorf("harness: remote: %w", err)
@@ -159,7 +218,7 @@ func dialRemotes(addrs []string, fp Fingerprint) ([]*remote.Client, error) {
 	hello := remote.Hello{Catalog: CatalogFingerprint(), Config: cfgJSON}
 	var clients []*remote.Client
 	for _, a := range addrs {
-		c, err := remote.Dial(a, hello)
+		c, err := remote.Dial(a, hello, artifacts)
 		if err != nil {
 			for _, open := range clients {
 				open.Close()

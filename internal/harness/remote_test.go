@@ -361,7 +361,7 @@ func TestWorkerSessionVerifiesPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := h.Accept(remote.Hello{Catalog: CatalogFingerprint(), Config: raw})
+	sess, err := h.Accept(remote.Hello{Catalog: CatalogFingerprint(), Config: raw}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,8 +89,15 @@ func (r *Runner) Run() (*Results, error) {
 	// surface in milliseconds, not after the graphs are built.
 	var clients []*remote.Client
 	if len(r.cfg.Remote) > 0 {
+		// With ServeArtifacts the runner doubles as the workers'
+		// artifact source: cold workers pull dataset snapshots from
+		// this process instead of regenerating them.
+		var artifacts remote.ArtifactProvider
+		if r.cfg.ServeArtifacts {
+			artifacts = r
+		}
 		var err error
-		clients, err = dialRemotes(r.cfg.Remote, fp)
+		clients, err = dialRemotes(r.cfg.Remote, fp, artifacts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,314 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// bytesProvider is an ArtifactProvider serving one in-memory artifact.
+type bytesProvider struct {
+	name  string
+	fp    [32]byte
+	data  []byte
+	err   error // when non-nil, every open is refused with it
+	opens atomic.Int64
+}
+
+func (p *bytesProvider) OpenArtifact(name string, fp [32]byte) (io.ReadCloser, error) {
+	p.opens.Add(1)
+	if p.err != nil {
+		return nil, p.err
+	}
+	if name != p.name || fp != p.fp {
+		return nil, errors.New("unknown artifact")
+	}
+	return io.NopCloser(bytes.NewReader(p.data)), nil
+}
+
+// dialWithFetcher connects a client (with the given provider) to a
+// fresh server and returns the server side's per-connection fetcher.
+func dialWithFetcher(t *testing.T, provider ArtifactProvider) (*Client, ArtifactFetcher) {
+	t.Helper()
+	fetchers := make(chan ArtifactFetcher, 1)
+	addr := startServer(t, &Server{
+		Handler:   &acceptAll{sess: &echoSession{}, fetchers: fetchers},
+		Heartbeat: 50 * time.Millisecond,
+	})
+	c, err := Dial(addr, Hello{}, provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, <-fetchers
+}
+
+// TestArtifactFetchRoundTrip pushes a multi-chunk artifact through the
+// request/chunk frames: the worker-side fetcher must reassemble the
+// exact bytes the scheduler's provider served, across chunk
+// boundaries, with every per-chunk CRC verified along the way.
+func TestArtifactFetchRoundTrip(t *testing.T) {
+	data := make([]byte, 2*artifactChunkSize+12345) // 3 data chunks
+	rand.New(rand.NewSource(1)).Read(data)
+	var fp [32]byte
+	fp[0], fp[31] = 0xAB, 0xCD
+	p := &bytesProvider{name: "frb-s", fp: fp, data: data}
+	_, fetcher := dialWithFetcher(t, p)
+
+	rc, err := fetcher.FetchArtifact("frb-s", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("artifact mangled in transit: %d bytes, want %d", len(got), len(data))
+	}
+	if p.opens.Load() != 1 {
+		t.Fatalf("provider opened %d times, want 1", p.opens.Load())
+	}
+
+	// Concurrent fetches multiplex by request id on one connection.
+	const fetches = 4
+	errs := make(chan error, fetches)
+	for i := 0; i < fetches; i++ {
+		go func() {
+			rc, err := fetcher.FetchArtifact("frb-s", fp)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rc.Close()
+			got, err := io.ReadAll(rc)
+			if err == nil && !bytes.Equal(got, data) {
+				err = errors.New("artifact mangled in concurrent transit")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < fetches; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestArtifactFetchRefused: a nil provider and a provider error must
+// both surface as read errors carrying the refusal reason — the
+// worker's cue to generate locally.
+func TestArtifactFetchRefused(t *testing.T) {
+	var fp [32]byte
+	readErr := func(fetcher ArtifactFetcher) error {
+		t.Helper()
+		rc, err := fetcher.FetchArtifact("frb-s", fp)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		_, err = io.ReadAll(rc)
+		return err
+	}
+
+	_, fetcher := dialWithFetcher(t, nil)
+	if err := readErr(fetcher); err == nil || !strings.Contains(err.Error(), "does not serve artifacts") {
+		t.Fatalf("nil provider fetch: %v", err)
+	}
+
+	_, fetcher = dialWithFetcher(t, &bytesProvider{err: errors.New("cache dir on fire")})
+	if err := readErr(fetcher); err == nil || !strings.Contains(err.Error(), "cache dir on fire") {
+		t.Fatalf("refusal reason lost: %v", err)
+	}
+}
+
+// TestArtifactFetchFailsWhenSchedulerDies: a fetch in flight when the
+// scheduler connection drops must fail promptly (connection-closed
+// error), not hang until the stall timeout; and fetches issued after
+// the connection is gone must fail immediately.
+func TestArtifactFetchFailsWhenSchedulerDies(t *testing.T) {
+	var fp [32]byte
+	// A provider whose artifact never finishes: the pipe is never
+	// closed, so chunks stop coming once the connection dies.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	slow := &pipeProvider{rc: pr}
+	c, fetcher := dialWithFetcher(t, slow)
+
+	rc, err := fetcher.FetchArtifact("frb-s", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	c.Close() // scheduler goes away mid-transfer
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(rc)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "connection closed") {
+			t.Fatalf("fetch across a dead connection: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch hung after the scheduler connection died")
+	}
+
+	if _, err := fetcher.FetchArtifact("frb-s", fp); err == nil {
+		t.Fatal("fetch on a closed connection did not fail fast")
+	}
+}
+
+// pipeProvider serves one reader, once.
+type pipeProvider struct{ rc io.ReadCloser }
+
+func (p *pipeProvider) OpenArtifact(string, [32]byte) (io.ReadCloser, error) { return p.rc, nil }
+
+// TestArtifactFetchSurvivesSlowOpen: opening the artifact on the
+// scheduler can outlast the worker's stall timeout — a cold scheduler
+// generates the dataset before the first byte can flow — so the
+// serving side must emit keepalive chunks that hold the transfer open
+// until data arrives.
+func TestArtifactFetchSurvivesSlowOpen(t *testing.T) {
+	oldStall, oldKeep := artifactStallTimeout, artifactKeepalive
+	artifactStallTimeout, artifactKeepalive = 300*time.Millisecond, 50*time.Millisecond
+	t.Cleanup(func() { artifactStallTimeout, artifactKeepalive = oldStall, oldKeep })
+
+	data := []byte("worth the wait")
+	var fp [32]byte
+	p := &slowOpenProvider{delay: 4 * artifactStallTimeout, data: data}
+	_, fetcher := dialWithFetcher(t, p)
+
+	rc, err := fetcher.FetchArtifact("frb-s", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("slow open starved the fetch despite keepalives: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("slow-open artifact mangled: %q", got)
+	}
+}
+
+// slowOpenProvider blocks in OpenArtifact before serving.
+type slowOpenProvider struct {
+	delay time.Duration
+	data  []byte
+}
+
+func (p *slowOpenProvider) OpenArtifact(string, [32]byte) (io.ReadCloser, error) {
+	time.Sleep(p.delay)
+	return io.NopCloser(bytes.NewReader(p.data)), nil
+}
+
+// TestArtifactChunkCRCMismatch speaks the scheduler side raw: a chunk
+// whose data does not match its CRC — corruption in transit — must
+// fail the fetch, never feed bad bytes to the artifact decoder. An
+// out-of-order sequence number must fail the same way.
+func TestArtifactChunkCRCMismatch(t *testing.T) {
+	fetchers := make(chan ArtifactFetcher, 1)
+	addr := startServer(t, &Server{
+		Handler:   &acceptAll{sess: &echoSession{}, fetchers: fetchers},
+		Heartbeat: 50 * time.Millisecond,
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &frame{Type: typeHello, Hello: &Hello{Proto: ProtocolVersion}}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := readFrame(conn); err != nil || f.Type != typeWelcome || !f.Welcome.OK {
+		t.Fatalf("handshake failed: %+v, %v", f, err)
+	}
+	fetcher := <-fetchers
+
+	// The raw scheduler: answer each artifact request with one
+	// poisoned chunk (bad CRC first, bad sequence second).
+	go func() {
+		poison := []func(id uint64) *ArtifactChunk{
+			func(id uint64) *ArtifactChunk {
+				data := []byte("good bytes")
+				return &ArtifactChunk{ID: id, Seq: 0, Data: data, CRC: crc32.Checksum(data, artifactCRC) ^ 1}
+			},
+			func(id uint64) *ArtifactChunk {
+				data := []byte("good bytes")
+				return &ArtifactChunk{ID: id, Seq: 7, Data: data, CRC: crc32.Checksum(data, artifactCRC)}
+			},
+		}
+		for {
+			f, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if f.Type != typeArtifactReq || f.Req == nil {
+				continue // heartbeats
+			}
+			next := poison[0]
+			poison = poison[1:]
+			writeFrame(conn, &frame{Type: typeArtifactChunk, Chunk: next(f.Req.ID)})
+		}
+	}()
+
+	var fp [32]byte
+	for _, want := range []string{"CRC mismatch", "out of order"} {
+		rc, err := fetcher.FetchArtifact("frb-s", fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = io.ReadAll(rc)
+		rc.Close()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("poisoned chunk accepted, want %q error: %v", want, err)
+		}
+	}
+}
+
+// TestArtifactRequestFrameRoundTrip pins the wire shape of the new
+// frames, including the hex fingerprint encoding.
+func TestArtifactRequestFrameRoundTrip(t *testing.T) {
+	var fp [32]byte
+	for i := range fp {
+		fp[i] = byte(i)
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go writeFrame(client, &frame{Type: typeArtifactReq, Req: &ArtifactRequest{ID: 9, Name: "ldbc", Fingerprint: hex.EncodeToString(fp[:])}})
+	f, err := readFrame(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != typeArtifactReq || f.Req == nil || f.Req.ID != 9 || f.Req.Name != "ldbc" {
+		t.Fatalf("request frame mangled: %+v", f)
+	}
+	raw, err := hex.DecodeString(f.Req.Fingerprint)
+	if err != nil || !bytes.Equal(raw, fp[:]) {
+		t.Fatalf("fingerprint mangled: %q", f.Req.Fingerprint)
+	}
+
+	data := []byte{0, 1, 2, 0xFF}
+	go writeFrame(client, &frame{Type: typeArtifactChunk, Chunk: &ArtifactChunk{ID: 9, Seq: 3, Data: data, CRC: 42, Last: false}})
+	f, err = readFrame(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != typeArtifactChunk || f.Chunk == nil || f.Chunk.Seq != 3 || !bytes.Equal(f.Chunk.Data, data) || f.Chunk.CRC != 42 {
+		t.Fatalf("chunk frame mangled: %+v", f)
+	}
+}

@@ -1,9 +1,12 @@
 package remote
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,6 +14,16 @@ import (
 
 // ErrClosed is returned by Execute after Close.
 var ErrClosed = errors.New("remote: client closed")
+
+// ArtifactProvider serves dataset artifacts to workers that request
+// them. OpenArtifact returns a reader over the complete artifact bytes
+// for the given content address, or an error that becomes the refusal
+// reason on the wire (the worker falls back to generating the dataset
+// locally). It is called from the client's read loop in a dedicated
+// goroutine per request and must be safe for concurrent use.
+type ArtifactProvider interface {
+	OpenArtifact(name string, fingerprint [32]byte) (io.ReadCloser, error)
+}
 
 // Client is the scheduler's end of one worker connection. Execute may
 // be called from Capacity goroutines concurrently; responses are
@@ -22,6 +35,7 @@ type Client struct {
 	conn      net.Conn
 	capacity  int
 	heartbeat time.Duration
+	artifacts ArtifactProvider
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -32,10 +46,12 @@ type Client struct {
 }
 
 // Dial connects to a worker and performs the handshake. hello.Proto
-// is filled in; Catalog and Config are the caller's. A rejection
-// (catalog mismatch, protocol drift, unknown engines) surfaces as an
-// error mentioning the worker's reason.
-func Dial(addr string, hello Hello) (*Client, error) {
+// is filled in; Catalog and Config are the caller's. artifacts, when
+// non-nil, serves the worker's dataset artifact requests over this
+// connection (a nil provider refuses them and the worker generates
+// locally). A rejection (catalog mismatch, protocol drift, unknown
+// engines) surfaces as an error mentioning the worker's reason.
+func Dial(addr string, hello Hello, artifacts ArtifactProvider) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
@@ -73,6 +89,7 @@ func Dial(addr string, hello Hello) (*Client, error) {
 		conn:      conn,
 		capacity:  capacity,
 		heartbeat: hb,
+		artifacts: artifacts,
 		pending:   make(map[int]chan CellDone),
 		dead:      make(chan struct{}),
 	}
@@ -126,6 +143,111 @@ func (c *Client) readLoop() {
 			if ch != nil {
 				ch <- *f.Done // buffered; never blocks
 			}
+		case typeArtifactReq:
+			if f.Req != nil {
+				// Streaming an artifact can take a while; a dedicated
+				// goroutine keeps the read loop free to route cell
+				// results and heartbeats meanwhile.
+				go c.serveArtifact(*f.Req)
+			}
+		}
+	}
+}
+
+// send writes one frame under the write mutex.
+func (c *Client) send(f *frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.conn, f)
+}
+
+// artifactKeepalive is how often serveArtifact sends an empty chunk
+// while the provider is still opening the artifact (a cold scheduler
+// generates the dataset first, which can take minutes at paper scale).
+// Must be comfortably below the worker's stall timeout, or a slow open
+// would look like a dead transfer; a variable so tests can shrink it.
+var artifactKeepalive = 5 * time.Second
+
+// serveArtifact answers one worker artifact request: it opens the
+// artifact at the provider and streams it as CRC-carrying chunks,
+// ending with an empty Last chunk. Any refusal — no provider, a
+// malformed request, a provider error — is sent as an Error chunk the
+// worker turns into its generate-locally fallback. A connection-level
+// write failure just stops the transfer: declaring the worker dead is
+// the read loop's job alone — fail from a second goroutine could race
+// an already-delivered cell result out of Execute's drain-first
+// re-check.
+func (c *Client) serveArtifact(req ArtifactRequest) {
+	refuse := func(reason string) {
+		c.send(&frame{Type: typeArtifactChunk, Chunk: &ArtifactChunk{ID: req.ID, Error: reason}})
+	}
+	if c.artifacts == nil {
+		refuse("scheduler does not serve artifacts")
+		return
+	}
+	raw, err := hex.DecodeString(req.Fingerprint)
+	if err != nil || len(raw) != 32 {
+		refuse(fmt.Sprintf("malformed artifact fingerprint %q", req.Fingerprint))
+		return
+	}
+	var fp [32]byte
+	copy(fp[:], raw)
+	// Opening can block far longer than the worker's stall timeout —
+	// a cold scheduler acquires (and possibly generates) the dataset
+	// first — so it runs aside while empty keepalive chunks hold the
+	// transfer open. An empty chunk carries bytes of progress, which
+	// is exactly what the worker's stall detector measures.
+	type opened struct {
+		rc  io.ReadCloser
+		err error
+	}
+	oc := make(chan opened, 1)
+	go func() {
+		rc, err := c.artifacts.OpenArtifact(req.Name, fp)
+		oc <- opened{rc, err}
+	}()
+	seq := 0
+	var rc io.ReadCloser
+	for rc == nil {
+		select {
+		case o := <-oc:
+			if o.err != nil {
+				refuse(o.err.Error())
+				return
+			}
+			rc = o.rc
+		case <-time.After(artifactKeepalive):
+			if err := c.send(&frame{Type: typeArtifactChunk, Chunk: &ArtifactChunk{ID: req.ID, Seq: seq}}); err != nil {
+				// Connection broken; reap the provider whenever it
+				// finishes, and let the read loop discover the death.
+				go func() {
+					if o := <-oc; o.rc != nil {
+						o.rc.Close()
+					}
+				}()
+				return
+			}
+			seq++
+		}
+	}
+	defer rc.Close()
+	buf := make([]byte, artifactChunkSize)
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			chunk := &ArtifactChunk{ID: req.ID, Seq: seq, Data: buf[:n], CRC: crc32.Checksum(buf[:n], artifactCRC)}
+			if err := c.send(&frame{Type: typeArtifactChunk, Chunk: chunk}); err != nil {
+				return
+			}
+			seq++
+		}
+		switch {
+		case rerr == io.EOF:
+			c.send(&frame{Type: typeArtifactChunk, Chunk: &ArtifactChunk{ID: req.ID, Seq: seq, Last: true}})
+			return
+		case rerr != nil:
+			refuse(fmt.Sprintf("reading artifact %s: %v", req.Name, rerr))
+			return
 		}
 	}
 }
@@ -156,22 +278,35 @@ func (c *Client) Execute(spec CellSpec) (json.RawMessage, error) {
 	c.pending[spec.Index] = ch
 	c.mu.Unlock()
 
-	c.wmu.Lock()
-	err := writeFrame(c.conn, &frame{Type: typeCell, Cell: &spec})
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.send(&frame{Type: typeCell, Cell: &spec}); err != nil {
 		c.fail(fmt.Errorf("remote: worker %s: %w", c.addr, err))
 		c.forget(spec.Index)
 		return nil, err
 	}
 
-	select {
-	case d := <-ch:
+	done := func(d CellDone) (json.RawMessage, error) {
 		if d.Error != "" {
 			return nil, fmt.Errorf("remote: worker %s refused cell %d: %s", c.addr, spec.Index, d.Error)
 		}
 		return d.Result, nil
+	}
+	select {
+	case d := <-ch:
+		return done(d)
 	case <-c.dead:
+		// The worker may have delivered this cell's result in the
+		// instant before it died: the read loop routes the done frame
+		// into ch (buffered) strictly before it can observe the
+		// connection error that closes c.dead, so when both channels
+		// are ready the select above picks nondeterministically. A
+		// delivered result must always win — dropping it would
+		// re-execute a completed cell elsewhere — so re-check ch
+		// non-blockingly before conceding to the death notification.
+		select {
+		case d := <-ch:
+			return done(d)
+		default:
+		}
 		c.forget(spec.Index)
 		c.mu.Lock()
 		err := c.err

@@ -28,23 +28,32 @@
 //     (they stop).
 //   - A draining worker (SIGTERM) finishes its in-flight cells,
 //     answers new requests with an error, and closes.
+//   - The worker may ask the scheduler for a dataset artifact it is
+//     missing (an ArtifactRequest frame, content-addressed by snapshot
+//     fingerprint); the scheduler answers with a sequence of
+//     CRC-carrying ArtifactChunk frames on the same connection. This
+//     is how a cold worker fleet seeds its dataset cache from one warm
+//     scheduler instead of regenerating every graph locally.
 //
 // The package is transport only: cell payloads are opaque
-// json.RawMessage values, so it has no dependency on the harness and
-// the harness stays free to evolve its record shapes.
+// json.RawMessage values and artifact bytes are an opaque stream, so
+// it has no dependency on the harness and the harness stays free to
+// evolve its record and snapshot shapes.
 package remote
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
 
 // ProtocolVersion guards the wire format; both sides must agree
 // exactly. Bump it whenever a frame or message shape changes.
-const ProtocolVersion = 1
+// Version 2 added the artifact request/chunk frames.
+const ProtocolVersion = 2
 
 // MaxFrame bounds a single frame body (a cell result carrying every
 // measurement of a micro cell is a few hundred KB at paper scale; the
@@ -61,12 +70,26 @@ const handshakeTimeout = 10 * time.Second
 
 // Frame type tags.
 const (
-	typeHello     = "hello"
-	typeWelcome   = "welcome"
-	typeCell      = "cell"
-	typeDone      = "done"
-	typeHeartbeat = "heartbeat"
+	typeHello         = "hello"
+	typeWelcome       = "welcome"
+	typeCell          = "cell"
+	typeDone          = "done"
+	typeHeartbeat     = "heartbeat"
+	typeArtifactReq   = "artifact_request"
+	typeArtifactChunk = "artifact_chunk"
 )
+
+// artifactChunkSize bounds the artifact bytes carried by one chunk
+// frame: large enough that a transfer is not dominated by framing,
+// small enough that chunks interleave with heartbeats and cell results
+// on the shared connection (and stay far below MaxFrame even after
+// JSON base64 expansion).
+const artifactChunkSize = 1 << 20
+
+// artifactCRC is the chunk checksum polynomial — Castagnoli, the same
+// the dataset snapshot format uses for its payload, so a transfer's
+// integrity checks compose with the artifact's own.
+var artifactCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Hello is the scheduler's half of the handshake.
 type Hello struct {
@@ -118,13 +141,42 @@ type CellDone struct {
 	Error  string          `json:"error,omitempty"`
 }
 
+// ArtifactRequest asks the scheduler for one dataset artifact. It
+// flows worker → scheduler: the worker is missing the artifact and the
+// scheduler is the one place guaranteed to be able to produce it. ID
+// multiplexes concurrent fetches on one connection; Fingerprint is the
+// hex content address (the dataset snapshot fingerprint), which the
+// requester re-verifies against the received artifact's own embedded
+// fingerprint — the transport never has to be trusted.
+type ArtifactRequest struct {
+	ID          uint64 `json:"id"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ArtifactChunk carries one slice of a requested artifact, scheduler →
+// worker. Data chunks arrive in Seq order, each carrying the CRC-32C
+// of its Data; the transfer ends with an empty Last chunk, or with an
+// Error chunk when the scheduler cannot (or will not) serve the
+// artifact — the worker then falls back to local generation.
+type ArtifactChunk struct {
+	ID    uint64 `json:"id"`
+	Seq   int    `json:"seq"`
+	Data  []byte `json:"data,omitempty"`
+	CRC   uint32 `json:"crc,omitempty"`
+	Last  bool   `json:"last,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
 // frame is the tagged union every wire message travels in.
 type frame struct {
-	Type    string    `json:"type"`
-	Hello   *Hello    `json:"hello,omitempty"`
-	Welcome *Welcome  `json:"welcome,omitempty"`
-	Cell    *CellSpec `json:"cell,omitempty"`
-	Done    *CellDone `json:"done,omitempty"`
+	Type    string           `json:"type"`
+	Hello   *Hello           `json:"hello,omitempty"`
+	Welcome *Welcome         `json:"welcome,omitempty"`
+	Cell    *CellSpec        `json:"cell,omitempty"`
+	Done    *CellDone        `json:"done,omitempty"`
+	Req     *ArtifactRequest `json:"artifact_request,omitempty"`
+	Chunk   *ArtifactChunk   `json:"artifact_chunk,omitempty"`
 }
 
 // writeFrame sends one frame: 4-byte big-endian body length, then the

@@ -36,15 +36,20 @@ func (s *echoSession) Execute(spec CellSpec) ([]byte, error) {
 }
 
 // acceptAll is a Handler that accepts every handshake with a fixed
-// session, optionally requiring a catalog.
+// session, optionally requiring a catalog. The connection's artifact
+// fetcher is parked on a channel for tests that exercise fetching.
 type acceptAll struct {
-	catalog string
-	sess    Session
+	catalog  string
+	sess     Session
+	fetchers chan ArtifactFetcher // when non-nil, receives each connection's fetcher
 }
 
-func (h *acceptAll) Accept(hello Hello) (Session, error) {
+func (h *acceptAll) Accept(hello Hello, artifacts ArtifactFetcher) (Session, error) {
 	if h.catalog != "" && hello.Catalog != h.catalog {
 		return nil, fmt.Errorf("catalog fingerprint mismatch: want %s, got %s", h.catalog, hello.Catalog)
+	}
+	if h.fetchers != nil {
+		h.fetchers <- artifacts
 	}
 	return h.sess, nil
 }
@@ -80,7 +85,7 @@ func TestHandshakeAndExecute(t *testing.T) {
 		Capacity:  3,
 		Heartbeat: 50 * time.Millisecond,
 	})
-	c, err := Dial(addr, Hello{Catalog: "cat", Config: json.RawMessage(`{}`)})
+	c, err := Dial(addr, Hello{Catalog: "cat", Config: json.RawMessage(`{}`)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +114,7 @@ func TestHandshakeAndExecute(t *testing.T) {
 // the scheduler's error.
 func TestHandshakeRejectsCatalogMismatch(t *testing.T) {
 	addr := startServer(t, &Server{Handler: &acceptAll{catalog: "want", sess: &echoSession{}}})
-	_, err := Dial(addr, Hello{Catalog: "other"})
+	_, err := Dial(addr, Hello{Catalog: "other"}, nil)
 	if err == nil || !strings.Contains(err.Error(), "mismatch") {
 		t.Fatalf("mismatched catalog accepted: %v", err)
 	}
@@ -143,7 +148,7 @@ func TestHeartbeatOutlivesSlowCell(t *testing.T) {
 	const hb = 20 * time.Millisecond
 	sess := &echoSession{payload: "slow", delay: 12 * hb} // ≫ the 4*hb read deadline
 	addr := startServer(t, &Server{Handler: &acceptAll{sess: sess}, Heartbeat: hb})
-	c, err := Dial(addr, Hello{})
+	c, err := Dial(addr, Hello{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +166,7 @@ func TestWorkerDeathFailsInFlight(t *testing.T) {
 	sess := &echoSession{gate: make(chan struct{})} // never closed: cell hangs forever
 	srv := &Server{Handler: &acceptAll{sess: sess}, Heartbeat: hb}
 	addr := startServer(t, srv)
-	c, err := Dial(addr, Hello{})
+	c, err := Dial(addr, Hello{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +206,7 @@ func TestDrainFinishesInFlight(t *testing.T) {
 	sess := &echoSession{payload: "drained", gate: make(chan struct{})}
 	srv := &Server{Handler: &acceptAll{sess: sess}, Heartbeat: 20 * time.Millisecond}
 	addr, served := startServerDone(t, srv)
-	c, err := Dial(addr, Hello{})
+	c, err := Dial(addr, Hello{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +250,130 @@ func TestDrainFinishesInFlight(t *testing.T) {
 	case <-served:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after the drain completed")
+	}
+}
+
+// TestExecuteDeliveredResultBeatsDeath is the regression test for the
+// result-loss race: a worker that delivers a cell's result and dies
+// immediately after makes both the result channel and the death
+// notification ready, and Execute's select must never drop the
+// completed result on the floor (the scheduler would re-execute a
+// finished cell elsewhere). The read loop routes the done frame before
+// it can observe the connection error, so with the drain-first fix the
+// result wins deterministically — every iteration must succeed.
+func TestExecuteDeliveredResultBeatsDeath(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A raw worker that answers one cell and drops dead: handshake,
+	// read the cell, write the done frame, close the connection.
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if f, err := readFrame(conn); err != nil || f.Type != typeHello {
+					return
+				}
+				writeFrame(conn, &frame{Type: typeWelcome, Welcome: &Welcome{OK: true, Capacity: 1}})
+				f, err := readFrame(conn)
+				if err != nil || f.Type != typeCell {
+					return
+				}
+				writeFrame(conn, &frame{Type: typeDone, Done: &CellDone{Index: f.Cell.Index, Result: json.RawMessage(`"delivered"`)}})
+			}(conn)
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		c, err := Dial(l.Addr().String(), Hello{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Execute(CellSpec{Index: i})
+		c.Close()
+		if err != nil {
+			t.Fatalf("iteration %d: delivered result lost to the death race: %v", i, err)
+		}
+		if string(res) != `"delivered"` {
+			t.Fatalf("iteration %d: result mangled: %s", i, res)
+		}
+	}
+}
+
+// TestServeWaitsForInflightOnAcceptError is the regression test for
+// the shutdown race: a non-drain accept error (the listener torn down
+// without Drain) must not let Serve return while a cell is still
+// executing — gdb-worker's main exits when Serve returns, which would
+// cut the in-flight cell's result write short and lose completed work.
+func TestServeWaitsForInflightOnAcceptError(t *testing.T) {
+	sess := &echoSession{payload: "late", gate: make(chan struct{})}
+	srv := &Server{Handler: &acceptAll{sess: sess}, Heartbeat: 20 * time.Millisecond}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	t.Cleanup(srv.Close)
+
+	c, err := Dial(l.Addr().String(), Hello{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	type result struct {
+		res json.RawMessage
+		err error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		res, err := c.Execute(CellSpec{Index: 1})
+		resc <- result{res, err}
+	}()
+	for i := 0; i < 100 && sess.execs.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if sess.execs.Load() == 0 {
+		t.Fatal("cell never reached the session")
+	}
+
+	// Kill the listener out from under Serve — an accept error with no
+	// drain requested.
+	l.Close()
+	select {
+	case err := <-served:
+		t.Fatalf("Serve returned (%v) while a cell was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// The error path marks the server draining: a new cell arriving on
+	// the still-open connection while Serve waits out the in-flight one
+	// must be refused (inflight.Add must never race the Wait), not
+	// executed.
+	if _, err := c.Execute(CellSpec{Index: 2}); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("new cell during error-path wait: want draining refusal, got %v", err)
+	}
+
+	// Once the cell finishes, its result must reach the scheduler and
+	// Serve must return the original accept error.
+	close(sess.gate)
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight cell lost to the accept error: %v", r.err)
+	}
+	select {
+	case err := <-served:
+		if err == nil {
+			t.Fatal("Serve swallowed the accept error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the in-flight cell finished")
 	}
 }
 

@@ -1,7 +1,11 @@
 package remote
 
 import (
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -15,13 +19,35 @@ type Session interface {
 	Execute(spec CellSpec) (result []byte, err error)
 }
 
+// ArtifactFetcher pulls dataset artifacts from the connected
+// scheduler. Each accepted connection hands its Handler one fetcher;
+// FetchArtifact sends an ArtifactRequest and returns a reader over the
+// chunk stream, verifying each chunk's CRC as it goes — the caller
+// additionally verifies the assembled artifact through the snapshot
+// format's own fingerprint and CRC. Any failure (refusal, stall,
+// connection loss, CRC mismatch) surfaces as a read error; callers
+// treat every error as "generate locally instead". Safe for
+// concurrent use.
+type ArtifactFetcher interface {
+	FetchArtifact(name string, fingerprint [32]byte) (io.ReadCloser, error)
+}
+
 // Handler vets handshakes. Accept inspects the scheduler's Hello —
 // catalog fingerprint, run configuration — and returns the Session
 // that will execute its cells, or an error that becomes the rejection
-// reason on the wire.
+// reason on the wire. artifacts fetches dataset artifacts from this
+// connection's scheduler; it stays usable for the lifetime of the
+// connection and fails every fetch after it closes.
 type Handler interface {
-	Accept(h Hello) (Session, error)
+	Accept(h Hello, artifacts ArtifactFetcher) (Session, error)
 }
+
+// artifactStallTimeout bounds how long a fetch waits for the next
+// chunk frame before declaring the transfer dead. The scheduler sends
+// no heartbeats (liveness flows worker → scheduler), so a stalled
+// transfer must time out on its own; a variable so tests can shrink
+// it.
+var artifactStallTimeout = 30 * time.Second
 
 // Server serves grid cells to remote schedulers. The zero value plus
 // a Handler is ready to use; Serve runs the accept loop.
@@ -53,7 +79,9 @@ func (s *Server) logf(format string, args ...any) {
 // It returns nil after Drain (or Close) — and only once every
 // in-flight cell has finished and its result been written, so a main
 // that exits when Serve returns cannot cut a drain short. Any other
-// accept error is returned as-is.
+// accept error is returned — but only after the same wait: whatever
+// ended the accept loop, a worker main that exits when Serve returns
+// must never cut an in-flight cell's result write short.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.lis = l
@@ -72,10 +100,24 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			s.mu.Lock()
 			stopping := s.draining
+			// Whatever ended the accept loop — drain or error — the
+			// server is shutting down: flag it so open connections
+			// refuse new cells from here on (handle's inflight.Add
+			// must never race the Wait below) and the wait covers
+			// exactly the cells already executing, not the rest of
+			// the scheduler's grid.
+			s.draining = true
 			s.mu.Unlock()
+			// The in-flight wait must cover the error path too: a
+			// non-drain accept error (listener torn down by the OS, a
+			// stray close) that returned immediately would let the
+			// worker's main exit mid-cell and silently lose the
+			// completed result — the scheduler would re-execute the
+			// cell elsewhere, or worse, wait out a full liveness
+			// timeout first.
+			s.inflight.Wait()
+			s.closeConns()
 			if stopping {
-				s.inflight.Wait()
-				s.closeConns()
 				return nil
 			}
 			return err
@@ -138,9 +180,142 @@ func (s *Server) closeConns() {
 	}
 }
 
+// artifactClient is the per-connection ArtifactFetcher: it issues
+// requests over the connection's shared write path and hands each
+// fetch a stream that the connection's read loop feeds chunk frames
+// into.
+type artifactClient struct {
+	write func(*frame) error
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*artifactStream
+	closed  error // set when the connection is gone; fails new fetches
+}
+
+// artifactStream is one in-flight fetch. The read loop routes chunks
+// into ch; done is closed when the reader is abandoned, so routing
+// never blocks on a fetch nobody is consuming anymore.
+type artifactStream struct {
+	ch       chan ArtifactChunk
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+func (st *artifactStream) abandon() { st.doneOnce.Do(func() { close(st.done) }) }
+
+// FetchArtifact implements ArtifactFetcher.
+func (a *artifactClient) FetchArtifact(name string, fingerprint [32]byte) (io.ReadCloser, error) {
+	st := &artifactStream{ch: make(chan ArtifactChunk, 16), done: make(chan struct{})}
+	a.mu.Lock()
+	if a.closed != nil {
+		err := a.closed
+		a.mu.Unlock()
+		return nil, err
+	}
+	a.nextID++
+	id := a.nextID
+	a.pending[id] = st
+	a.mu.Unlock()
+	req := &ArtifactRequest{ID: id, Name: name, Fingerprint: hex.EncodeToString(fingerprint[:])}
+	if err := a.write(&frame{Type: typeArtifactReq, Req: req}); err != nil {
+		a.forget(id)
+		return nil, fmt.Errorf("remote: artifact request: %w", err)
+	}
+	return &artifactReader{a: a, id: id, st: st}, nil
+}
+
+func (a *artifactClient) forget(id uint64) {
+	a.mu.Lock()
+	delete(a.pending, id)
+	a.mu.Unlock()
+}
+
+// route delivers one chunk frame to its waiting fetch; chunks for
+// unknown (finished, abandoned) fetches are dropped.
+func (a *artifactClient) route(chunk ArtifactChunk) {
+	a.mu.Lock()
+	st := a.pending[chunk.ID]
+	a.mu.Unlock()
+	if st == nil {
+		return
+	}
+	select {
+	case st.ch <- chunk:
+	case <-st.done:
+	}
+}
+
+// close fails every in-flight fetch and all future ones; called when
+// the connection goes away.
+func (a *artifactClient) close(err error) {
+	a.mu.Lock()
+	a.closed = err
+	streams := a.pending
+	a.pending = make(map[uint64]*artifactStream)
+	a.mu.Unlock()
+	for id, st := range streams {
+		select {
+		case st.ch <- ArtifactChunk{ID: id, Error: err.Error()}:
+		case <-st.done:
+		}
+	}
+}
+
+// artifactReader assembles the chunk stream of one fetch back into the
+// artifact's bytes, verifying each chunk's sequence number and CRC.
+type artifactReader struct {
+	a   *artifactClient
+	id  uint64
+	st  *artifactStream
+	buf []byte
+	seq int
+	err error // sticky
+}
+
+func (r *artifactReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.buf) == 0 {
+		select {
+		case chunk := <-r.st.ch:
+			switch {
+			case chunk.Error != "":
+				r.err = fmt.Errorf("remote: artifact fetch: %s", chunk.Error)
+				return 0, r.err
+			case chunk.Last:
+				r.err = io.EOF
+				return 0, io.EOF
+			case chunk.Seq != r.seq:
+				r.err = fmt.Errorf("remote: artifact chunk %d arrived out of order (want %d)", chunk.Seq, r.seq)
+				return 0, r.err
+			case crc32.Checksum(chunk.Data, artifactCRC) != chunk.CRC:
+				r.err = errors.New("remote: artifact chunk CRC mismatch")
+				return 0, r.err
+			}
+			r.seq++
+			r.buf = chunk.Data
+		case <-time.After(artifactStallTimeout):
+			r.err = errors.New("remote: artifact fetch stalled: no chunk from scheduler")
+			return 0, r.err
+		}
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+func (r *artifactReader) Close() error {
+	r.a.forget(r.id)
+	r.st.abandon()
+	return nil
+}
+
 // handle owns one scheduler connection: handshake, then a read loop
-// that fans cell requests out to executor goroutines while a ticker
-// goroutine emits heartbeats.
+// that fans cell requests out to executor goroutines and routes
+// artifact chunks to in-flight fetches, while a ticker goroutine emits
+// heartbeats.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -172,7 +347,9 @@ func (s *Server) handle(conn net.Conn) {
 		reject(fmt.Sprintf("protocol version mismatch: scheduler speaks %d, worker %d", f.Hello.Proto, ProtocolVersion))
 		return
 	}
-	sess, err := s.Handler.Accept(*f.Hello)
+	artifacts := &artifactClient{write: write, pending: make(map[uint64]*artifactStream)}
+	defer artifacts.close(errors.New("scheduler connection closed"))
+	sess, err := s.Handler.Accept(*f.Hello, artifacts)
 	if err != nil {
 		reject(err.Error())
 		return
@@ -213,6 +390,10 @@ func (s *Server) handle(conn net.Conn) {
 		f, err := readFrame(conn)
 		if err != nil {
 			return // EOF: scheduler finished (or died); either way we are done
+		}
+		if f.Type == typeArtifactChunk && f.Chunk != nil {
+			artifacts.route(*f.Chunk)
+			continue
 		}
 		if f.Type != typeCell || f.Cell == nil {
 			continue
