@@ -1,0 +1,15 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/docsync"
+)
+
+// TestDocSyncFlagsDocumented fails when a gdb-lint flag is missing
+// from README.md and docs/ — the same drift guard the other commands
+// carry.
+func TestDocSyncFlagsDocumented(t *testing.T) {
+	docsync.FlagsDocumented(t, "../..", func(fs *flag.FlagSet) { defineFlags(fs) })
+}

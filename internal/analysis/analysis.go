@@ -1,0 +1,225 @@
+// Package analysis is a small, stdlib-only static-analysis framework
+// encoding this repository's determinism and concurrency invariants as
+// machine-checked rules. It mirrors the shape of golang.org/x/tools'
+// go/analysis — Analyzer, Pass, Diagnostic — but is self-contained:
+// packages are enumerated and compiled through `go list -export`, and
+// dependency types come from the build cache's export data, so the
+// suite needs no module dependencies (the toolchain is the only
+// requirement).
+//
+// The analyzers themselves live in subpackages (detmap, wallclock,
+// seedrand, goroutinejoin, fsyncrename); cmd/gdb-lint is the
+// multichecker binary that runs them all. Each invariant, and the
+// reasoning behind it, is documented in docs/INVARIANTS.md.
+//
+// A diagnostic can be suppressed — with an explanation — by the
+// directive comment
+//
+//	//lint:gdb-allow <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory: an allowance without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:gdb-allow directives.
+	Name string
+	// Doc is the one-line description gdb-lint prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package to an analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Scope is a set of package-path patterns restricting where a
+// package-scoped analyzer applies. A pattern matches a package whose
+// import path equals it or ends with "/"+pattern, so the repository
+// path "internal/harness" matches both "repro/internal/harness" and an
+// analyzer-testdata package placed under ".../testdata/src/internal/harness".
+type Scope []string
+
+// Match reports whether pkgPath falls inside the scope.
+func (s Scope) Match(pkgPath string) bool {
+	for _, pat := range s {
+		if pkgPath == pat || strings.HasSuffix(pkgPath, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowDirective is the suppression comment: //lint:gdb-allow <name> <reason>.
+const AllowDirective = "//lint:gdb-allow"
+
+var directiveRe = regexp.MustCompile(`^//lint:gdb-allow\s+(\S+)(?:\s+(.*\S))?\s*$`)
+
+// allowKey identifies one suppressed (analyzer, file, line) cell.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// collectAllows scans a file's comments for gdb-allow directives. A
+// directive covers its own line (trailing form) and the next line
+// (standalone form above the flagged statement). Directives with no
+// reason are reported as diagnostics themselves — the escape hatch
+// must leave an explanation behind.
+func collectAllows(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) map[allowKey]bool {
+	allows := make(map[allowKey]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowDirective) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				report(Diagnostic{
+					Analyzer: "gdb-allow", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("malformed directive %q: want %s <analyzer> <reason>", c.Text, AllowDirective),
+				})
+				continue
+			}
+			name, reason := m[1], m[2]
+			if !known[name] {
+				report(Diagnostic{
+					Analyzer: "gdb-allow", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("directive names unknown analyzer %q", name),
+				})
+				continue
+			}
+			if reason == "" {
+				report(Diagnostic{
+					Analyzer: "gdb-allow", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("directive for %q is missing its reason: the escape hatch must document why the invariant does not apply", name),
+				})
+				continue
+			}
+			allows[allowKey{name, pos.Filename, pos.Line}] = true
+			allows[allowKey{name, pos.Filename, pos.Line + 1}] = true
+		}
+	}
+	return allows
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. Findings on a line covered
+// by a matching //lint:gdb-allow directive are dropped; findings
+// without one carry a hint naming the escape hatch.
+func Run(pkgs []*Pkg, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := make(map[allowKey]bool)
+		for _, f := range pkg.Files {
+			for k, v := range collectAllows(pkg.Fset, f, known, func(d Diagnostic) { out = append(out, d) }) {
+				allows[k] = v
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report: func(d Diagnostic) {
+					if allows[allowKey{d.Analyzer, d.File, d.Line}] {
+						return
+					}
+					d.Message += fmt.Sprintf(" (suppress with a reason: %s %s <reason>)", AllowDirective, d.Analyzer)
+					out = append(out, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// FuncOf resolves a call expression to the *types.Func it invokes, or
+// nil for calls through function-typed variables, built-ins and type
+// conversions. Shared by the analyzers, which all reason in terms of
+// "a call to package P's function F" or "a call to method M".
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

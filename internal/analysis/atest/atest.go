@@ -1,0 +1,106 @@
+// Package atest is the test harness for the gdb-lint analyzers,
+// mirroring golang.org/x/tools' analysistest: a testdata package is
+// loaded through the real loader, the analyzer runs over it, and the
+// diagnostics are matched against `// want "regexp"` comments placed
+// on the lines where findings are expected. Lines without a want
+// comment must stay clean, and every want comment must be matched —
+// so the testdata packages pin both the positives and the negatives
+// of each rule.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe accepts both quoting styles: `// want "pat"` and
+// // want `pat` — the backtick form spares testdata the
+// double-escaping of regexp metacharacters.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one `// want` comment: a pattern expected to match a
+// diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir (a testdata directory, relative
+// to the calling test) and checks the analyzers' combined diagnostics
+// against the package's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			pat := m[1]
+			if m[2] != "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+			}
+			out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches; it reports whether one was found.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.File || w.line != d.Line {
+			continue
+		}
+		if w.pattern.MatchString(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+// Package detmap flags `range` loops over maps whose body reaches an
+// ordered sink — an io.Writer, an encoder, a hash, one of the
+// repository's append-style enc helpers — without an intervening sort.
+// Go randomizes map iteration order, so bytes produced inside such a
+// loop differ from run to run: the classic silent killer of the
+// byte-identical exports, checkpoints and artifact fingerprints this
+// repository guarantees (README "Determinism"). The safe idiom —
+// collect the keys, sort them, then iterate the sorted slice — never
+// places the sink inside the map loop and therefore never triggers
+// the analyzer.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detmap invariant checker; it applies to every
+// package (any map-ordered bytes are suspect, wherever they are
+// produced).
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flags map iteration whose body writes to an ordered sink (writer, encoder, hash)",
+	Run:  run,
+}
+
+// sinkMethods are method names that commit bytes in call order,
+// whatever the receiver: io.Writer implementations, string builders,
+// hash.Hash (Write/Sum), encoders (json.Encoder.Encode,
+// csv.Writer.Write), binary appenders.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Encode":      true,
+	"Sum":         true,
+}
+
+// sinkFuncs are package-level functions that commit bytes in call
+// order.
+var sinkFuncs = map[[2]string]bool{
+	{"fmt", "Fprint"}:            true,
+	{"fmt", "Fprintf"}:           true,
+	{"fmt", "Fprintln"}:          true,
+	{"fmt", "Print"}:             true,
+	{"fmt", "Printf"}:            true,
+	{"fmt", "Println"}:           true,
+	{"io", "WriteString"}:        true,
+	{"io", "Copy"}:               true,
+	{"encoding/binary", "Write"}: true,
+}
+
+// encPkgSuffix marks the repository's append-style varint/tag encoders
+// (repro/internal/enc): every function there appends order-sensitive
+// bytes.
+const encPkgSuffix = "internal/enc"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if rng.Key == nil {
+				// `for range m` uses only the map's size, which is
+				// order-independent.
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass, rng.Body); sink != nil {
+				pass.Reportf(rng.Pos(), "map iteration order reaches ordered sink %s (line %d); sort the keys first, or hoist the write out of the loop",
+					sinkName(pass, sink), pass.Fset.Position(sink.Pos()).Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSink returns the first ordered-sink call inside body (function
+// literals included: a goroutine or closure launched per key inherits
+// the order problem).
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var sink *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.FuncOf(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Type().(*types.Signature).Recv() != nil && sinkMethods[fn.Name()]:
+			sink = call
+		case sinkFuncs[[2]string{fn.Pkg().Path(), fn.Name()}]:
+			sink = call
+		case pkgHasSuffix(fn.Pkg().Path(), encPkgSuffix):
+			sink = call
+		}
+		return sink == nil
+	})
+	return sink
+}
+
+func pkgHasSuffix(path, suffix string) bool {
+	return path == suffix || (len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix)
+}
+
+func sinkName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.FuncOf(pass.Info, call); fn != nil {
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return fn.Name()
+		}
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,16 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/detmap"
+)
+
+func TestDetmapPositive(t *testing.T) {
+	atest.Run(t, "testdata/src/a", detmap.Analyzer)
+}
+
+func TestDetmapCleanPackage(t *testing.T) {
+	atest.Run(t, "testdata/src/clean", detmap.Analyzer)
+}

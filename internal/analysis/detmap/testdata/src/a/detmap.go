@@ -1,0 +1,102 @@
+// Package a is detmap analyzer testdata: map iteration reaching an
+// ordered sink is flagged; the sort-the-keys idiom and
+// order-independent loops are not.
+package a
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/analysis/detmap/testdata/src/internal/enc"
+)
+
+func bufferSink(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m { // want `\[detmap\] map iteration order reaches ordered sink WriteString`
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+func fprintfSink(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `\[detmap\] map iteration order reaches ordered sink fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func encoderSink(w io.Writer, m map[string]int) error {
+	e := json.NewEncoder(w)
+	for k := range m { // want `\[detmap\] map iteration order reaches ordered sink Encode`
+		if err := e.Encode(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hashSink(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m { // want `\[detmap\] map iteration order reaches ordered sink Write`
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+func encSink(m map[uint64]uint64) []byte {
+	var b []byte
+	for k := range m { // want `\[detmap\] map iteration order reaches ordered sink enc\.AppendUvarint`
+		b = enc.AppendUvarint(b, k)
+	}
+	return b
+}
+
+// closureSink shows the sink hiding inside a per-key closure — the
+// order problem is inherited, so it is still flagged.
+func closureSink(w io.Writer, m map[string]int) {
+	for k := range m { // want `\[detmap\] map iteration order reaches ordered sink io\.WriteString`
+		func() { io.WriteString(w, k) }()
+	}
+}
+
+// sortedKeys is the sanctioned idiom: collect, sort, then iterate the
+// slice. The sink sits in a slice loop, not a map loop.
+func sortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// countOnly never writes inside the loop; aggregation is
+// order-independent.
+func countOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keylessWrite ranges without a key, so each iteration emits identical
+// bytes and order cannot show.
+func keylessWrite(w io.Writer, m map[string]int) {
+	for range m {
+		io.WriteString(w, ".")
+	}
+}
+
+// allowed exercises the escape hatch.
+func allowed(w io.Writer, m map[string]int) {
+	//lint:gdb-allow detmap testdata exercising the directive on the next line
+	for k := range m {
+		io.WriteString(w, k)
+	}
+}

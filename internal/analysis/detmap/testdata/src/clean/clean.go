@@ -1,0 +1,21 @@
+// Package clean is detmap analyzer testdata: only order-independent
+// map use, so the package must produce no diagnostics.
+package clean
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,13 @@
+// Package enc is detmap analyzer testdata standing in for the
+// repository's append-style encoders: its import path ends in
+// internal/enc, so every call into it is an ordered sink.
+package enc
+
+// AppendUvarint appends v to b in varint form.
+func AppendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}

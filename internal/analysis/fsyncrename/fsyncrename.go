@@ -1,0 +1,138 @@
+// Package fsyncrename enforces the publishSnapshot contract on
+// temp-file-then-rename sequences: before os.Rename publishes a file
+// under its final name, the data must be forced to disk with an
+// error-checked (*os.File).Sync, and any pre-rename Close must have
+// its error checked. Rename-without-fsync can publish a name whose
+// bytes are lost on crash — a torn artifact that then poisons the
+// content-addressed cache; an ignored Sync or Close error publishes a
+// file the kernel already told us is bad.
+//
+// The analysis is per function body: a rename is satisfied by a
+// checked Sync call earlier in the same body (nested function literals
+// are scanned separately — a Sync inside a callback does not vouch for
+// a rename outside it).
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the fsyncrename invariant checker; it applies to every
+// package that publishes files.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncrename",
+	Doc:  "flags os.Rename publishes without an error-checked fsync, or with ignored Sync/Close errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Visit every function body — declarations and literals — each
+		// as its own scope.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fileCall is one Sync/Close/Rename event in a body, in source order.
+type fileCall struct {
+	pos     token.Pos
+	checked bool // false when the call is a bare expression statement
+}
+
+// checkBody scans one function body (excluding nested literals) and
+// reports each os.Rename that is not preceded by a checked Sync, plus
+// any ignored Sync/Close error ahead of a rename.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	bare := bareCalls(body)
+
+	var syncs, closes []fileCall
+	var renames []*ast.CallExpr
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.FuncOf(pass.Info, call)
+		if fn == nil {
+			return
+		}
+		switch {
+		case fn.FullName() == "(*os.File).Sync":
+			syncs = append(syncs, fileCall{call.Pos(), !bare[call]})
+		case fn.FullName() == "(*os.File).Close":
+			closes = append(closes, fileCall{call.Pos(), !bare[call]})
+		case analysis.IsPkgFunc(fn, "os", "Rename"):
+			renames = append(renames, call)
+		}
+	})
+
+	for _, r := range renames {
+		var checkedSync, uncheckedSync bool
+		for _, s := range syncs {
+			if s.pos < r.Pos() {
+				if s.checked {
+					checkedSync = true
+				} else {
+					uncheckedSync = true
+				}
+			}
+		}
+		switch {
+		case checkedSync:
+			// Satisfied; still flag sloppy closes below.
+		case uncheckedSync:
+			pass.Reportf(r.Pos(), "rename publishes a file whose Sync error was ignored; check the fsync result before renaming")
+		default:
+			pass.Reportf(r.Pos(), "rename without a preceding fsync: call Sync (and check its error) before publishing the file")
+		}
+		for _, c := range closes {
+			if c.pos < r.Pos() && !c.checked {
+				pass.Reportf(c.pos, "Close error ignored before rename; a failed close can publish truncated bytes")
+			}
+		}
+	}
+}
+
+// bareCalls maps each call that is a bare expression statement —
+// i.e. its error result, if any, is discarded.
+func bareCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	inspectShallow(body, func(n ast.Node) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+			out[call] = true
+		}
+	})
+	return out
+}
+
+// inspectShallow walks body without descending into nested function
+// literals, whose bodies form their own publish scopes.
+func inspectShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/fsyncrename"
+)
+
+func TestFsyncrenamePositive(t *testing.T) {
+	atest.Run(t, "testdata/src/a", fsyncrename.Analyzer)
+}
+
+func TestFsyncrenameCleanPackage(t *testing.T) {
+	atest.Run(t, "testdata/src/clean", fsyncrename.Analyzer)
+}

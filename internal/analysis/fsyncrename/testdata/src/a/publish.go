@@ -1,0 +1,63 @@
+// Package a is fsyncrename analyzer testdata: rename-publishes are
+// checked for the fsync-then-checked-close contract.
+package a
+
+import "os"
+
+// noSync publishes without forcing bytes to disk.
+func noSync(f *os.File, tmp, final string) error {
+	if _, err := f.WriteString("data"); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `\[fsyncrename\] rename without a preceding fsync`
+}
+
+// ignoredSync calls Sync but throws the error away.
+func ignoredSync(f *os.File, tmp, final string) error {
+	f.Sync()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `\[fsyncrename\] rename publishes a file whose Sync error was ignored`
+}
+
+// ignoredClose checks Sync but drops the Close error, which can hide
+// truncated bytes on some filesystems.
+func ignoredClose(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close() // want `\[fsyncrename\] Close error ignored before rename`
+	return os.Rename(tmp, final)
+}
+
+// closureSync syncs inside a callback; the publishing function itself
+// never checked an fsync, so the rename is still flagged.
+func closureSync(f *os.File, tmp, final string, run func(func() error)) error {
+	run(func() error { return f.Sync() })
+	return os.Rename(tmp, final) // want `\[fsyncrename\] rename without a preceding fsync`
+}
+
+// good is the publishSnapshot contract: write, Sync (checked), Close
+// (checked), then rename.
+func good(f *os.File, tmp, final string) error {
+	if _, err := f.WriteString("data"); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// allowed exercises the escape hatch.
+func allowed(tmp, final string) error {
+	//lint:gdb-allow fsyncrename testdata exercising the directive on the next line
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,17 @@
+// Package clean is fsyncrename analyzer testdata: file writes with no
+// rename-publish, so the package must produce no diagnostics.
+package clean
+
+import "os"
+
+func write(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}

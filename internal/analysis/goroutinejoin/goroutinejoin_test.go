@@ -1,0 +1,16 @@
+package goroutinejoin_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/goroutinejoin"
+)
+
+func TestGoroutinejoinPositive(t *testing.T) {
+	atest.Run(t, "testdata/src/internal/remote", goroutinejoin.Analyzer)
+}
+
+func TestGoroutinejoinOutOfScopeIsClean(t *testing.T) {
+	atest.Run(t, "testdata/src/outofscope", goroutinejoin.Analyzer)
+}

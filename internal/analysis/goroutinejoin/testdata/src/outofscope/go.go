@@ -1,0 +1,8 @@
+// Package outofscope is goroutinejoin analyzer testdata: its import
+// path matches no scope entry, so even a bare goroutine launch loads
+// clean.
+package outofscope
+
+func fireAndForget(f func()) {
+	go func() { f() }()
+}

@@ -1,0 +1,60 @@
+// Package seedrand forbids the global math/rand source. Workload
+// generation shards its randomness into per-shard *rand.Rand instances
+// keyed by (seed, shard) so that any worker, on any machine, generates
+// the same cells (PR 2); a stray top-level rand.Intn draws from the
+// process-global source instead, whose state depends on everything
+// else that ran before it — silently divergent across placements.
+// Constructor calls (rand.New, rand.NewSource, rand.NewZipf, ...) are
+// the sanctioned way in and stay legal; _test.go files are never
+// loaded, so tests keep their freedom.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the seedrand invariant checker; it applies everywhere —
+// there is no production package where the global source is safe.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc:  "forbids the global math/rand source; use a per-shard *rand.Rand",
+	Run:  run,
+}
+
+// constructors return an owned generator or feed one; they are the
+// sanctioned entry points.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			p := fn.Pkg().Path()
+			if p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil || constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "global math/rand source via rand.%s; draw from a per-shard *rand.Rand seeded from the run config", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/seedrand"
+)
+
+func TestSeedrandPositive(t *testing.T) {
+	atest.Run(t, "testdata/src/a", seedrand.Analyzer)
+}
+
+func TestSeedrandCleanPackage(t *testing.T) {
+	atest.Run(t, "testdata/src/clean", seedrand.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Package a is seedrand analyzer testdata: global math/rand draws are
+// flagged, owned *rand.Rand generators are not.
+package a
+
+import "math/rand"
+
+func globalDraws() int {
+	rand.Seed(42)      // want `\[seedrand\] global math/rand source via rand\.Seed`
+	n := rand.Intn(10) // want `\[seedrand\] global math/rand source via rand\.Intn`
+	f := rand.Float64  // want `\[seedrand\] global math/rand source via rand\.Float64`
+	_ = f
+	return n + int(rand.Int63()) // want `\[seedrand\] global math/rand source via rand\.Int63`
+}
+
+// shardRand is the sanctioned discipline: an owned generator seeded
+// from run config, drawn via methods. Constructors are legal.
+func shardRand(seed int64, shard int) int {
+	r := rand.New(rand.NewSource(seed + int64(shard)))
+	z := rand.NewZipf(r, 1.1, 1, 1000)
+	return r.Intn(10) + int(z.Uint64())
+}
+
+// allowed exercises the escape hatch.
+func allowed() float64 {
+	//lint:gdb-allow seedrand testdata exercising the directive on the next line
+	return rand.Float64()
+}

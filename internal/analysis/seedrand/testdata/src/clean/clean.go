@@ -1,0 +1,17 @@
+// Package clean is seedrand analyzer testdata: per-shard generators
+// only, so the package must produce no diagnostics.
+package clean
+
+import "math/rand"
+
+type shard struct {
+	rng *rand.Rand
+}
+
+func newShard(seed int64) *shard {
+	return &shard{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *shard) pick(n int) int {
+	return s.rng.Intn(n)
+}

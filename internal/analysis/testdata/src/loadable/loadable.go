@@ -1,0 +1,10 @@
+// Package loadable is loader testdata: a minimal package with a
+// stdlib dependency, proving export-data type resolution works.
+package loadable
+
+import "fmt"
+
+// Greet formats a greeting.
+func Greet(name string) string {
+	return fmt.Sprintf("hello, %s", name)
+}

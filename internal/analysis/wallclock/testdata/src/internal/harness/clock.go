@@ -1,0 +1,41 @@
+// Package harness is wallclock analyzer testdata: it sits at an
+// import path ending in internal/harness, so the default scope applies.
+package harness
+
+import "time"
+
+type sample struct {
+	at  time.Time
+	dur time.Duration
+}
+
+func stamp() sample {
+	start := time.Now() // want `\[wallclock\] time\.Now in result-producing package`
+	return sample{
+		at:  start,
+		dur: time.Since(start), // want `\[wallclock\] time\.Since in result-producing package`
+	}
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `\[wallclock\] time\.Until in result-producing package`
+}
+
+// valueUse demonstrates that storing the function value is flagged
+// too — a smuggled clock is still a clock.
+func valueUse() func() time.Time {
+	return time.Now // want `\[wallclock\] time\.Now in result-producing package`
+}
+
+// allowed carries the escape hatch with a reason and stays silent.
+func allowed() time.Time {
+	//lint:gdb-allow wallclock testdata exercising the directive on the next line
+	return time.Now()
+}
+
+// durationsOnly consumes durations without observing the clock; the
+// analyzer must not fire here.
+func durationsOnly(d time.Duration) {
+	time.Sleep(d / 2)
+	_ = d.Seconds()
+}

@@ -1,0 +1,14 @@
+// Package outofscope is wallclock analyzer testdata: its import path
+// matches no scope entry, so wall-clock reads here are legal and the
+// package must load clean.
+package outofscope
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/wallclock"
+)
+
+func TestWallclockPositive(t *testing.T) {
+	atest.Run(t, "testdata/src/internal/harness", wallclock.Analyzer)
+}
+
+func TestWallclockOutOfScopeIsClean(t *testing.T) {
+	atest.Run(t, "testdata/src/outofscope", wallclock.Analyzer)
+}

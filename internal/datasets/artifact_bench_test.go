@@ -150,4 +150,38 @@ func TestRecordDatasetBenchmarks(t *testing.T) {
 	if speedup < 5 {
 		t.Errorf("warm dataset acquisition is only %.1fx faster than cold, want >= 5x", speedup)
 	}
+
+	// The committed trajectory is the second floor: a regression that
+	// halves the recorded speedup fails even while it clears the
+	// absolute 5x bar. The factor-of-two slack absorbs machine-to-
+	// machine variance; the committed file ratchets the rest.
+	if committed, ok := committedFloor(t); ok && speedup < committed/2 {
+		t.Errorf("warm speedup %.1fx is less than half the committed floor %.1fx (BENCH_datasets.json); investigate or re-baseline", speedup, committed)
+	}
+}
+
+// committedFloor reads the warm speedup from the repo's committed
+// BENCH_datasets.json. The comparison only holds between identical
+// workloads, so a differing dataset/scale/generator skips it.
+func committedFloor(t *testing.T) (float64, bool) {
+	raw, err := os.ReadFile("../../BENCH_datasets.json")
+	if err != nil {
+		t.Logf("no committed BENCH_datasets.json floor: %v", err)
+		return 0, false
+	}
+	var doc struct {
+		Dataset          string  `json:"dataset"`
+		Scale            float64 `json:"scale"`
+		GeneratorVersion int     `json:"generator_version"`
+		WarmSpeedup      float64 `json:"warm_speedup"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("committed BENCH_datasets.json is unreadable: %v", err)
+	}
+	if doc.Dataset != benchDataset || doc.Scale != benchScale || doc.GeneratorVersion != datasets.GeneratorVersion {
+		t.Logf("committed floor is for %s@%g gen=%d, current workload is %s@%g gen=%d; skipping comparison",
+			doc.Dataset, doc.Scale, doc.GeneratorVersion, benchDataset, benchScale, datasets.GeneratorVersion)
+		return 0, false
+	}
+	return doc.WarmSpeedup, doc.WarmSpeedup > 0
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/datasets"
 )
@@ -159,6 +160,38 @@ func TestOpenArtifactRefusesForeignRequests(t *testing.T) {
 	}
 	if g.NumVertices() != r.graph("frb-s").NumVertices() {
 		t.Fatal("served artifact decodes to a different graph")
+	}
+}
+
+// TestOpenArtifactCloseJoinsEncoder: the memory-streaming path runs
+// its snapshot encoder in a goroutine; abandoning the stream mid-read
+// must join that goroutine — Close only returns once the encoder has
+// exited, so no writer can outlive the request and touch a graph the
+// run is tearing down.
+func TestOpenArtifactCloseJoinsEncoder(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"frb-s"}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := datasets.ByName("frb-s")
+	fp := datasets.SnapshotFingerprint("frb-s", cfg.Scale, spec.Seed)
+	rc, err := r.OpenArtifact("frb-s", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a sliver so the encoder is mid-stream, then abandon it.
+	if _, err := io.ReadFull(rc, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rc.Close() }()
+	select {
+	case <-done:
+		// Close returned, so the encoder goroutine has exited.
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return; encoder goroutine was not joined")
 	}
 }
 

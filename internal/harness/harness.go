@@ -239,8 +239,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r := &Runner{
 		cfg:    cfg,
 		graphs: make(map[string]*datasetCache),
-		now:    time.Now,
-		since:  time.Since,
+		now:    time.Now,   //lint:gdb-allow wallclock this IS the injectable clock's production default
+		since:  time.Since, //lint:gdb-allow wallclock this IS the injectable clock's production default
 		exit:   os.Exit,
 	}
 	if cfg.FrozenClock {

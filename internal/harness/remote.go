@@ -196,13 +196,34 @@ func (r *Runner) OpenArtifact(name string, fp [32]byte) (io.ReadCloser, error) {
 		}
 	}
 	// No on-disk artifact (no cache dir, or the store failed): encode
-	// the graph for the wire directly.
+	// the graph for the wire directly. The encoder goroutine is joined
+	// by Close: a reader that abandons the stream mid-transfer must not
+	// leave a writer running against a graph the run may be tearing
+	// down.
 	r.progressf("artifact %s: streaming snapshot to remote worker", name)
 	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		pw.CloseWithError(datasets.WriteSnapshot(pw, ds.g, ds.rawJSON, fp))
 	}()
-	return pr, nil
+	return &joinedPipe{PipeReader: pr, join: wg.Wait}, nil
+}
+
+// joinedPipe is an artifact stream whose Close waits for the encoder
+// goroutine: closing the read end makes the writer's next Write return
+// ErrClosedPipe, so the goroutine exits promptly and Close returns
+// only once it has.
+type joinedPipe struct {
+	*io.PipeReader
+	join func()
+}
+
+func (p *joinedPipe) Close() error {
+	err := p.PipeReader.Close()
+	p.join()
+	return err
 }
 
 // dialRemotes connects and handshakes every configured worker

@@ -436,7 +436,11 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 		total.Query = q.Name + depthSuffix(pg.depth)
 	}
 	start := r.now()
-	deadline := time.Now().Add(r.cfg.Timeout * time.Duration(r.cfg.BatchSize))
+	// One context carries the whole batch's time budget; deriving it
+	// here (rather than computing a time.Now-based deadline per
+	// iteration) keeps the wall clock out of the measurement path.
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout*time.Duration(r.cfg.BatchSize))
+	defer cancel()
 	iterate := func(i int) (int64, error) {
 		iter := i
 		if q.Mutates {
@@ -445,9 +449,7 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 			// fresh objects.
 			iter = i + 1
 		}
-		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		res2, err := q.Run(ctx, e, pg.For(q, iter, res))
-		cancel()
 		return res2.Count, err
 	}
 	if w := r.cfg.CellWorkers; w > 1 && !q.Mutates && concurrentReads(e) {

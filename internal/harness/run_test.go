@@ -73,6 +73,34 @@ func TestBatchRetainsLastSuccessfulCount(t *testing.T) {
 	}
 }
 
+// TestBatchEnforcesTimeBudget guards the batch deadline: every
+// iteration shares one context carrying the Timeout×BatchSize budget,
+// so an iteration that stalls past it is cut off and classified as a
+// timeout rather than hanging the cell.
+func TestBatchEnforcesTimeBudget(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchSize = 2
+	cfg.Timeout = 20 * time.Millisecond
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.graph("frb-s")
+	pg := NewParamGen(g, cfg.Seed)
+	res := identityLoadResult(g)
+	q := &workload.Query{
+		Num: 34, Name: "QSLOW",
+		Run: func(ctx context.Context, e core.Engine, p workload.Params) (workload.Result, error) {
+			<-ctx.Done()
+			return workload.Result{}, ctx.Err()
+		},
+	}
+	m := r.batch(nil, q, pg, res)
+	if !m.TimedOut {
+		t.Fatalf("stalled batch not classified as timeout: %+v", m)
+	}
+}
+
 // frozenClock makes every recorded duration zero, so two runs of the
 // same configuration export byte-identical JSON.
 func frozenClock(r *Runner) {

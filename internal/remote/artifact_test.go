@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -213,6 +214,66 @@ type slowOpenProvider struct {
 func (p *slowOpenProvider) OpenArtifact(string, [32]byte) (io.ReadCloser, error) {
 	time.Sleep(p.delay)
 	return io.NopCloser(bytes.NewReader(p.data)), nil
+}
+
+// gatedOpenProvider blocks OpenArtifact until released, then serves a
+// close-recording reader.
+type gatedOpenProvider struct {
+	release chan struct{}
+	rc      *closeRecorder
+}
+
+func (p *gatedOpenProvider) OpenArtifact(string, [32]byte) (io.ReadCloser, error) {
+	<-p.release
+	return p.rc, nil
+}
+
+// closeRecorder signals when it is closed.
+type closeRecorder struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (r *closeRecorder) Read(p []byte) (int, error) { return 0, io.EOF }
+func (r *closeRecorder) Close() error {
+	r.once.Do(func() { close(r.closed) })
+	return nil
+}
+
+// TestArtifactKeepaliveFailureClosesLateOpen: when the connection dies
+// while the provider is still opening, the serving goroutine must wait
+// for the open to finish and close its reader — the reader must not
+// leak just because there is no one left to stream it to.
+func TestArtifactKeepaliveFailureClosesLateOpen(t *testing.T) {
+	oldStall, oldKeep := artifactStallTimeout, artifactKeepalive
+	artifactStallTimeout, artifactKeepalive = 300*time.Millisecond, 20*time.Millisecond
+	t.Cleanup(func() { artifactStallTimeout, artifactKeepalive = oldStall, oldKeep })
+
+	p := &gatedOpenProvider{
+		release: make(chan struct{}),
+		rc:      &closeRecorder{closed: make(chan struct{})},
+	}
+	c, fetcher := dialWithFetcher(t, p)
+
+	rc, err := fetcher.FetchArtifact("frb-s", [32]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	// Let a few keepalives flow, sever the scheduler connection so the
+	// next send fails, then release the still-pending open.
+	time.Sleep(3 * artifactKeepalive)
+	c.Close()
+	time.Sleep(3 * artifactKeepalive)
+	close(p.release)
+
+	select {
+	case <-p.rc.closed:
+		// The dead transfer's reader was reaped.
+	case <-time.After(5 * time.Second):
+		t.Fatal("late-opened artifact reader was never closed after the connection died")
+	}
 }
 
 // TestArtifactChunkCRCMismatch speaks the scheduler side raw: a chunk

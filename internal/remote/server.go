@@ -326,7 +326,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	// Handshake under a deadline; afterwards the connection idles
 	// until the scheduler has work, so no read deadline applies.
-	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //lint:gdb-allow wallclock handshake I/O deadline, never enters a result
 	f, err := readFrame(conn)
 	if err != nil || f.Type != typeHello || f.Hello == nil {
 		return
