@@ -79,6 +79,7 @@ type options struct {
 	status       bool
 	crashAfter   int
 	frozenClock  bool
+	optimize     bool
 	report       string
 	exportJSON   string
 	exportCSV    string
@@ -106,6 +107,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.status, "status", false, "print the -checkpoint file's progress and exit without executing")
 	fs.IntVar(&o.crashAfter, "crash-after", 0, "fault injection: exit(1) after N cells are checkpointed (testing)")
 	fs.BoolVar(&o.frozenClock, "frozen-clock", false, "record all durations as zero for byte-deterministic exports (testing/CI)")
+	fs.BoolVar(&o.optimize, "optimize", true, "enable the gremlin plan optimizer; -optimize=false runs every query exactly as written (A/B escape hatch, identical results)")
 	fs.StringVar(&o.report, "report", "all", "report to print ("+strings.Join(harness.ReportNames(), ", ")+")")
 	fs.StringVar(&o.exportJSON, "export-json", "", "also write raw results as JSON to this file")
 	fs.StringVar(&o.exportCSV, "export-csv", "", "also write raw results as CSV to this file")
@@ -172,6 +174,7 @@ func main() {
 		Resume:          o.resume,
 		CrashAfterCells: o.crashAfter,
 		FrozenClock:     o.frozenClock,
+		NoOptimize:      !o.optimize,
 		Isolation:       true,
 	}
 	if o.engines != "" {

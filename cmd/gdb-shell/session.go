@@ -37,6 +37,13 @@ const helpText = `commands:
   labels                       distinct edge labels
   search <name> <value>        vertices by property
   index <name>                 build an attribute index
+  explain [noopt] <steps>      show the query plan with cardinality
+                               estimates; steps are space-separated
+                               (V, E, V:<id>, E:<id>, has:k=v,
+                               hasLabel:l, out[:l], in, both, outE,
+                               inE, bothE, outV, inV, degree:dir,k,
+                               dedup, limit:n, sample:n). 'noopt'
+                               explains the plan exactly as written.
   bfs <id> <depth> [label]     breadth-first reach
   sp <v1> <v2> [label]         shortest path
   space                        space occupancy report
@@ -231,6 +238,16 @@ func (s *session) Eval(line string) (string, bool) {
 			return err.Error(), false
 		}
 		return fmt.Sprintf("%d vertices %v", len(ids), truncIDs(ids, 20)), false
+	case "explain":
+		if len(args) > 0 && args[0] == "noopt" {
+			ctx = gremlin.WithoutOptimizer(ctx)
+			args = args[1:]
+		}
+		t, err := parseTraversal(gremlin.New(s.e), args)
+		if err != nil {
+			return err.Error(), false
+		}
+		return strings.TrimRight(t.Explain(ctx).String(), "\n"), false
 	case "index":
 		if len(args) != 1 {
 			return "usage: index <name>", false
@@ -290,6 +307,109 @@ func (s *session) Eval(line string) (string, bool) {
 	default:
 		return fmt.Sprintf("unknown command %q — try 'help'", cmd), false
 	}
+}
+
+// parseTraversal builds a traversal from space-separated step tokens of
+// the form op or op:args (see the explain entry in helpText). The first
+// token must be a source (V, E, V:<id>, E:<id>).
+func parseTraversal(g gremlin.G, args []string) (*gremlin.Traversal, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: explain [noopt] V|E|V:<id>|E:<id> [step ...]")
+	}
+	var t *gremlin.Traversal
+	for i, tok := range args {
+		op, arg, _ := strings.Cut(tok, ":")
+		if i == 0 {
+			var err error
+			if t, err = parseSource(g, op, arg); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch op {
+		case "has":
+			k, v, ok := strings.Cut(arg, "=")
+			if !ok || k == "" {
+				return nil, fmt.Errorf("step %q: want has:name=value", tok)
+			}
+			t = t.Has(k, parseValue(v))
+		case "hasLabel":
+			if arg == "" {
+				return nil, fmt.Errorf("step %q: want hasLabel:label", tok)
+			}
+			t = t.HasLabel(arg)
+		case "out":
+			t = t.Out(stepLabels(arg)...)
+		case "in":
+			t = t.In(stepLabels(arg)...)
+		case "both":
+			t = t.Both(stepLabels(arg)...)
+		case "outE":
+			t = t.OutE(stepLabels(arg)...)
+		case "inE":
+			t = t.InE(stepLabels(arg)...)
+		case "bothE":
+			t = t.BothE(stepLabels(arg)...)
+		case "outV":
+			t = t.OutV()
+		case "inV":
+			t = t.InV()
+		case "degree":
+			dir, ks, ok := strings.Cut(arg, ",")
+			d, dok := map[string]core.Direction{"out": core.DirOut, "in": core.DirIn, "both": core.DirBoth}[dir]
+			k, err := strconv.ParseInt(ks, 10, 64)
+			if !ok || !dok || err != nil {
+				return nil, fmt.Errorf("step %q: want degree:out|in|both,k", tok)
+			}
+			t = t.DegreeAtLeast(d, k)
+		case "dedup":
+			t = t.Dedup()
+		case "limit":
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("step %q: want limit:n", tok)
+			}
+			t = t.Limit(n)
+		case "sample":
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("step %q: want sample:n", tok)
+			}
+			t = t.Sample(n, 1)
+		default:
+			return nil, fmt.Errorf("unknown step %q", tok)
+		}
+	}
+	return t, nil
+}
+
+func parseSource(g gremlin.G, op, arg string) (*gremlin.Traversal, error) {
+	switch {
+	case op == "V" && arg == "":
+		return g.V(), nil
+	case op == "E" && arg == "":
+		return g.E(), nil
+	case op == "V":
+		id, err := parseID(arg)
+		if err != nil {
+			return nil, err
+		}
+		return g.VID(id), nil
+	case op == "E":
+		id, err := parseID(arg)
+		if err != nil {
+			return nil, err
+		}
+		return g.EID(id), nil
+	}
+	return nil, fmt.Errorf("traversal must start with V, E, V:<id> or E:<id>")
+}
+
+func stepLabels(arg string) []string {
+	if arg == "" {
+		return nil
+	}
+	return strings.Split(arg, ",")
 }
 
 func parseID(s string) (core.ID, error) {

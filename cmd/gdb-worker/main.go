@@ -54,6 +54,7 @@ type options struct {
 	genWorkers    int
 	datasetCache  string
 	artifactFetch bool
+	optimize      bool
 	heartbeat     time.Duration
 	verbose       bool
 }
@@ -66,6 +67,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
 	fs.BoolVar(&o.artifactFetch, "artifact-fetch", true, "fetch missing dataset artifacts from the scheduler before generating locally")
+	fs.BoolVar(&o.optimize, "optimize", true, "enable the gremlin plan optimizer for accepted runs; -optimize=false executes plans exactly as written (identical results)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", remote.DefaultHeartbeat, "liveness interval announced to schedulers")
 	fs.BoolVar(&o.verbose, "v", false, "print per-cell progress to stderr")
 	return o
@@ -76,7 +78,7 @@ func main() {
 	flag.Parse()
 
 	datasets.SetGenWorkers(o.genWorkers)
-	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache, FetchArtifacts: o.artifactFetch}
+	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache, FetchArtifacts: o.artifactFetch, NoOptimize: !o.optimize}
 	if o.verbose {
 		h.Progress = os.Stderr
 	}

@@ -36,6 +36,9 @@ type CSR struct {
 	// properties — the exact statement/pair counts several engines'
 	// bulk loaders need up front.
 	VPropTotal, EPropTotal int
+
+	// stats caches the derived planner statistics (see PlanStats).
+	stats statsCache
 }
 
 // NumVertices returns the vertex count of the snapshotted graph.

@@ -38,6 +38,8 @@ import (
 
 // Engine is an ArangoDB-style document graph store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	nextID int64
 	vdocs  map[core.ID][]byte
 	edocs  map[core.ID][]byte

@@ -423,6 +423,7 @@ func (e *Engine) HasVertexPropIndex(name string) bool { return e.declaredIndexes
 // directly, bypassing the REST boundary — which is how ArangoDB ends up
 // the *fastest* loader of the study despite its slow per-item path.
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	res := &core.LoadResult{
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),

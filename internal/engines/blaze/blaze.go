@@ -65,6 +65,8 @@ type statement struct{ s, p, o int64 }
 
 // Engine is a BlazeGraph-style RDF statement store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	spo, pos, osp *btree.Tree
 
 	// Term dictionary.

@@ -427,6 +427,7 @@ func (e *Engine) HasVertexPropIndex(string) bool { return false }
 // option: statements are collected, sorted once per index, and the
 // three B+Trees are bulk-built without per-insert rebalancing.
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	res := &core.LoadResult{
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),

@@ -61,6 +61,8 @@ const (
 
 // Engine is a Neo4j-style native graph store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	version Version
 
 	nodes  *pagefile.Store

@@ -1,6 +1,8 @@
 package neo
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/pagefile"
 )
@@ -455,6 +457,9 @@ func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
 		for id := range set {
 			out = append(out, id)
 		}
+		// Ascending id order: the same sequence the scan path yields, so
+		// indexed and unindexed lookups are interchangeable downstream.
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return core.SliceIter(out)
 	}
 	inner := e.Vertices()
@@ -691,6 +696,7 @@ func (e *Engine) HasVertexPropIndex(name string) bool {
 // paper found the Gremlin load path of this engine equally good, so no
 // penalty applies).
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	res := &core.LoadResult{
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),

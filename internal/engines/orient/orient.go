@@ -80,6 +80,8 @@ func (c *cluster) bytes() int64 { return c.heap.Bytes() + c.pmap.Bytes() }
 
 // Engine is an OrientDB-style native graph store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	vcluster  *cluster
 	eclusters []*cluster // index = cluster id - 1
 	labels    []string   // cluster id - 1 -> label

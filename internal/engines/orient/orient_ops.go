@@ -1,6 +1,8 @@
 package orient
 
 import (
+	"sort"
+
 	"repro/internal/core"
 )
 
@@ -317,6 +319,9 @@ func (e *Engine) VerticesByProp(name string, v core.Value) core.Iter[core.ID] {
 		for id := range set {
 			out = append(out, id)
 		}
+		// Ascending RID order: the same sequence the cluster scan yields,
+		// so indexed and unindexed lookups are interchangeable downstream.
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return core.SliceIter(out)
 	}
 	return core.FilterIter(e.Vertices(), func(id core.ID) bool {
@@ -478,6 +483,7 @@ func (e *Engine) HasVertexPropIndex(name string) bool {
 // bookkeeping per label): edge documents are written first, then each
 // vertex document exactly once with its full RID lists.
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	res := &core.LoadResult{
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),

@@ -37,6 +37,8 @@ const DefaultMemBudget = 256 << 20
 
 // Engine is a Sparksee-style bitmap graph store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	nextOID uint64
 	nodes   *bitmap.Bitmap
 	edges   *bitmap.Bitmap

@@ -195,6 +195,7 @@ func (e *Engine) HasVertexPropIndex(name string) bool { return e.declaredIndexes
 // BulkLoad implements core.Engine (the engine's Gremlin load path was
 // unproblematic in the paper, so this is a plain loop).
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	res := &core.LoadResult{
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),

@@ -44,6 +44,8 @@ func splitEdgeID(id core.ID) (tableIdx int, ok bool) {
 
 // Engine is a Sqlg-style relational graph store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	db         *rel.DB
 	vtab       *rel.Table
 	etabs      []*rel.Table // per label

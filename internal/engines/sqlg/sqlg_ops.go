@@ -417,6 +417,7 @@ func (e *Engine) HasVertexPropIndex(name string) bool { return e.vindexed[name] 
 // per label with all property columns known up front), then COPY-style
 // row inserts.
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	res := &core.LoadResult{
 		VertexIDs: make([]core.ID, g.NumVertices()),
 		EdgeIDs:   make([]core.ID, g.NumEdges()),

@@ -59,6 +59,8 @@ const rowPrefixLen = 10
 
 // Engine is a Titan-style columnar graph store.
 type Engine struct {
+	core.PlanStatsHolder
+
 	version Version
 	kv      *lsm.Store
 

@@ -498,6 +498,7 @@ func (e *Engine) HasVertexPropIndex(name string) bool {
 // disabled): all columns are built, sorted once, and installed as a
 // single SSTable.
 func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
+	e.CapturePlanStats(g)
 	if e.nextID != 0 {
 		return e.bulkIncremental(g)
 	}

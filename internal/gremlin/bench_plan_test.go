@@ -1,0 +1,185 @@
+package gremlin
+
+// Planner micro-benchmarks: the two traversal shapes the optimizer
+// exists for. Filter-reorder runs a workload-authored filter-late
+// traversal (expensive degree threshold before a selective property
+// probe) on neo-1.9, whose Degree walks relationship chains;
+// limit-fusion runs E().hasLabel(rare).limit(1) on sqlg, whose full
+// edge scan eagerly materializes the union of every per-label table.
+// TestRecordGremlinBenchmarks renders both A/B pairs into
+// BENCH_gremlin.json for CI (set BENCH_JSON to the output path) and
+// enforces the ≥2× filter-reorder floor.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engines/neo"
+	"repro/internal/engines/sqlg"
+)
+
+// benchPlanGraph is sized so a full degree pass is clearly measurable
+// while the whole A/B suite stays inside a CI smoke budget: 1500
+// vertices at average undirected degree ~12, a "hit" property on ~1%
+// of vertices, and a "rare" label on ~0.4% of edges.
+func benchPlanGraph() *core.Graph {
+	rng := rand.New(rand.NewSource(11))
+	const nv, deg = 1500, 6
+	g := core.NewGraph(nv, nv*deg)
+	for i := 0; i < nv; i++ {
+		p := core.Props{"n": core.I(int64(i))}
+		if i%97 == 0 {
+			p["p"] = core.S("hit")
+		}
+		g.AddVertex(p)
+	}
+	labels := []string{"follows", "likes", "knows"}
+	for i := 0; i < nv*deg; i++ {
+		l := labels[rng.Intn(len(labels))]
+		if i%251 == 0 {
+			l = "rare"
+		}
+		g.AddEdge(rng.Intn(nv), rng.Intn(nv), l, nil)
+	}
+	return g
+}
+
+func benchFilterReorder(b *testing.B, ctx context.Context) {
+	e := neo.New(neo.V19)
+	defer e.Close()
+	if _, err := e.BulkLoad(benchPlanGraph()); err != nil {
+		b.Fatal(err)
+	}
+	gr := New(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := gr.V().DegreeAtLeast(core.DirBoth, 8).Has("p", core.S("hit")).Count(ctx)
+		if err != nil || n == 0 {
+			b.Fatalf("count=%d err=%v", n, err)
+		}
+	}
+}
+
+func benchLimitFusion(b *testing.B, ctx context.Context) {
+	e := sqlg.New()
+	defer e.Close()
+	if _, err := e.BulkLoad(benchPlanGraph()); err != nil {
+		b.Fatal(err)
+	}
+	gr := New(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := gr.E().HasLabel("rare").Limit(1).Count(ctx)
+		if err != nil || n != 1 {
+			b.Fatalf("count=%d err=%v", n, err)
+		}
+	}
+}
+
+func BenchmarkTraversalFilterReorderAsWritten(b *testing.B) {
+	benchFilterReorder(b, WithoutOptimizer(context.Background()))
+}
+
+func BenchmarkTraversalFilterReorderOptimized(b *testing.B) {
+	benchFilterReorder(b, context.Background())
+}
+
+func BenchmarkTraversalLimitFusionAsWritten(b *testing.B) {
+	benchLimitFusion(b, WithoutOptimizer(context.Background()))
+}
+
+func BenchmarkTraversalLimitFusionOptimized(b *testing.B) {
+	benchLimitFusion(b, context.Background())
+}
+
+// benchRecord is one benchmark's entry in BENCH_gremlin.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// TestRecordGremlinBenchmarks runs both A/B pairs through
+// testing.Benchmark and writes the results — plus the two speedups —
+// to the file named by BENCH_JSON (skipped when unset, so ordinary
+// test runs stay fast). The ≥2× filter-reorder floor is asserted here,
+// and the committed BENCH_gremlin.json ratchets the trajectory: a
+// regression below half the committed speedup fails even while it
+// clears the absolute bar.
+func TestRecordGremlinBenchmarks(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("BENCH_JSON not set; skipping benchmark recording")
+	}
+	run := func(name string, fn func(*testing.B)) benchRecord {
+		r := testing.Benchmark(fn)
+		t.Logf("%s: %v", name, r)
+		return benchRecord{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	reorderOff := run("filter-reorder/neo-1.9/as-written", BenchmarkTraversalFilterReorderAsWritten)
+	reorderOn := run("filter-reorder/neo-1.9/optimized", BenchmarkTraversalFilterReorderOptimized)
+	limitOff := run("limit-fusion/sqlg/as-written", BenchmarkTraversalLimitFusionAsWritten)
+	limitOn := run("limit-fusion/sqlg/optimized", BenchmarkTraversalLimitFusionOptimized)
+
+	reorderSpeedup := reorderOff.NsPerOp / reorderOn.NsPerOp
+	limitSpeedup := limitOff.NsPerOp / limitOn.NsPerOp
+	doc := struct {
+		Benchmarks           []benchRecord `json:"benchmarks"`
+		FilterReorderSpeedup float64       `json:"filter_reorder_speedup"`
+		LimitFusionSpeedup   float64       `json:"limit_fusion_speedup"`
+	}{
+		Benchmarks:           []benchRecord{reorderOff, reorderOn, limitOff, limitOn},
+		FilterReorderSpeedup: reorderSpeedup,
+		LimitFusionSpeedup:   limitSpeedup,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (filter-reorder %.1fx, limit-fusion %.1fx)", out, reorderSpeedup, limitSpeedup)
+	if reorderSpeedup < 2 {
+		t.Errorf("optimized filter-reorder traversal is only %.1fx faster than as-written, want >= 2x", reorderSpeedup)
+	}
+
+	if reorderFloor, limitFloor, ok := committedGremlinFloor(t); ok {
+		if reorderSpeedup < reorderFloor/2 {
+			t.Errorf("filter-reorder speedup %.1fx is less than half the committed floor %.1fx (BENCH_gremlin.json); investigate or re-baseline", reorderSpeedup, reorderFloor)
+		}
+		if limitSpeedup < limitFloor/2 {
+			t.Errorf("limit-fusion speedup %.1fx is less than half the committed floor %.1fx (BENCH_gremlin.json); investigate or re-baseline", limitSpeedup, limitFloor)
+		}
+	}
+}
+
+// committedGremlinFloor reads the speedups from the repo's committed
+// BENCH_gremlin.json.
+func committedGremlinFloor(t *testing.T) (reorder, limit float64, ok bool) {
+	raw, err := os.ReadFile("../../BENCH_gremlin.json")
+	if err != nil {
+		t.Logf("no committed BENCH_gremlin.json floor: %v", err)
+		return 0, 0, false
+	}
+	var doc struct {
+		FilterReorderSpeedup float64 `json:"filter_reorder_speedup"`
+		LimitFusionSpeedup   float64 `json:"limit_fusion_speedup"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("committed BENCH_gremlin.json is unreadable: %v", err)
+	}
+	return doc.FilterReorderSpeedup, doc.LimitFusionSpeedup, doc.FilterReorderSpeedup > 0
+}

@@ -1,15 +1,18 @@
 // Package gremlin implements a Gremlin-style traversal machine over the
-// core.Engine contract: lazy step pipelines (g.V().has(...).out()...)
+// core.Engine contract: plan-first step pipelines (g.V().has(...).out())
 // with terminal operations that respect context deadlines.
 //
 // It plays the role Apache TinkerPop plays in the paper — the
 // database-independent connectivity layer through which every test query
-// is expressed exactly once. Like the non-optimizing adapters the paper
-// describes for most engines, steps execute one element at a time
-// against the engine API; the only "optimizations" are the source-step
-// fast paths every adapter has (g.V().has(p,v) → engine property lookup,
-// g.E().hasLabel(l) → engine label lookup), which the workload package
-// uses explicitly where the paper's queries do.
+// is expressed exactly once. Builder methods append declarative Step
+// nodes to a logical plan (plan.go); a terminal operation compiles the
+// plan — greedily reordering commutable filters by snapshot cardinality
+// signals and fusing index-served filters into the source step
+// (optimize.go) — and lowers it to pull-based streams (compile.go).
+// Like the non-optimizing adapters the paper describes, lowered steps
+// execute one element at a time against the engine API; the optimizer
+// is guaranteed to return element-identical results to the unoptimized
+// plan, and can be held off per query for A/B runs (WithoutOptimizer).
 package gremlin
 
 import (
@@ -41,11 +44,11 @@ const (
 	KindEdge
 )
 
-// Traversal is a lazy pipeline of elements (vertices or edges).
+// Traversal is a lazy pipeline of elements (vertices or edges),
+// represented as a logical plan until a terminal compiles it.
 type Traversal struct {
-	e    core.Engine
-	kind Kind
-	src  stream
+	e     core.Engine
+	steps []Step
 }
 
 // G roots traversals at an engine, mirroring the Gremlin "g".
@@ -57,265 +60,167 @@ func New(e core.Engine) G { return G{e: e} }
 // Engine returns the underlying engine.
 func (g G) Engine() core.Engine { return g.e }
 
+func (g G) source(s Step) *Traversal {
+	return &Traversal{e: g.e, steps: []Step{s}}
+}
+
 // V streams all vertices (g.V).
 func (g G) V() *Traversal {
-	return &Traversal{e: g.e, kind: KindVertex, src: fromIter(g.e.Vertices())}
+	return g.source(Step{Op: OpSourceV, Kind: KindVertex})
 }
 
 // E streams all edges (g.E).
 func (g G) E() *Traversal {
-	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(g.e.Edges())}
+	return g.source(Step{Op: OpSourceE, Kind: KindEdge})
 }
 
 // VID streams the single vertex with the given id (g.V(id), Q14).
 func (g G) VID(id core.ID) *Traversal {
-	ids := []core.ID{}
-	if g.e.HasVertex(id) {
-		ids = append(ids, id)
-	}
-	return &Traversal{e: g.e, kind: KindVertex, src: fromIter(core.SliceIter(ids))}
+	return g.source(Step{Op: OpSourceVID, Kind: KindVertex, ID: id})
 }
 
 // EID streams the single edge with the given id (g.E(id), Q15).
 func (g G) EID(id core.ID) *Traversal {
-	ids := []core.ID{}
-	if g.e.HasEdge(id) {
-		ids = append(ids, id)
-	}
-	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(core.SliceIter(ids))}
+	return g.source(Step{Op: OpSourceEID, Kind: KindEdge, ID: id})
 }
 
 // VHas streams vertices with property name = v through the engine's
 // search surface (g.V.has(name, value), Q11 — the step that benefits
-// from attribute indexes in Figure 4(c)).
+// from attribute indexes in Figure 4(c)). It is plan sugar for
+// V().Has(name, v) with the filter marked explicit, so the compiler
+// dispatches it to the engine index surface even with the optimizer
+// off — entry points and mid-chain filters share one representation.
 func (g G) VHas(name string, v core.Value) *Traversal {
-	return &Traversal{e: g.e, kind: KindVertex, src: fromIter(g.e.VerticesByProp(name, v))}
+	t := g.V()
+	t.steps = append(t.steps, Step{Op: OpHas, Kind: KindVertex, Name: name, Value: v, Explicit: true})
+	return t
 }
 
 // EHas streams edges with property name = v (g.E.has(name, value), Q12).
 func (g G) EHas(name string, v core.Value) *Traversal {
-	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(g.e.EdgesByProp(name, v))}
+	t := g.E()
+	t.steps = append(t.steps, Step{Op: OpHas, Kind: KindEdge, Name: name, Value: v, Explicit: true})
+	return t
 }
 
 // EHasLabel streams edges with the given label (g.E.has('label', l),
 // Q13).
 func (g G) EHasLabel(label string) *Traversal {
-	return &Traversal{e: g.e, kind: KindEdge, src: fromIter(g.e.EdgesByLabel(label))}
+	t := g.E()
+	t.steps = append(t.steps, Step{Op: OpHasLabel, Kind: KindEdge, Label: label, Explicit: true})
+	return t
 }
 
 // Kind reports whether the traversal currently carries vertices or
-// edges.
-func (t *Traversal) Kind() Kind { return t.kind }
+// edges, derived from the plan's output step.
+func (t *Traversal) Kind() Kind { return outputKind(t.steps) }
 
-func (t *Traversal) derive(kind Kind, s stream) *Traversal {
-	return &Traversal{e: t.e, kind: kind, src: s}
+// append extends the plan in place and returns the receiver: builder
+// chains stay cheap (one slice append per step), and intermediate
+// traversal values are not retained anywhere.
+func (t *Traversal) append(s Step) *Traversal {
+	t.steps = append(t.steps, s)
+	return t
 }
 
-// flatMap expands each incoming element through expand.
-func (t *Traversal) flatMap(kind Kind, expand func(core.ID) core.Iter[core.ID]) *Traversal {
-	src := t.src
-	var cur core.Iter[core.ID]
-	return t.derive(kind, func() (core.ID, bool, error) {
-		for {
-			if cur != nil {
-				if id, ok := cur(); ok {
-					return id, true, nil
-				}
-				cur = nil
-			}
-			id, ok, err := src()
-			if err != nil || !ok {
-				return core.NoID, false, err
-			}
-			cur = expand(id)
-		}
-	})
+func (t *Traversal) expand(op Op, kind Kind, labels []string) *Traversal {
+	return t.append(Step{Op: op, Kind: kind, Labels: labels})
 }
 
 // Out moves vertex→vertex over outgoing edges (v.out, Q23).
 func (t *Traversal) Out(labels ...string) *Traversal {
-	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
-		return t.e.Neighbors(id, core.DirOut, labels...)
-	})
+	return t.expand(OpOut, KindVertex, labels)
 }
 
 // In moves vertex→vertex over incoming edges (v.in, Q22).
 func (t *Traversal) In(labels ...string) *Traversal {
-	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
-		return t.e.Neighbors(id, core.DirIn, labels...)
-	})
+	return t.expand(OpIn, KindVertex, labels)
 }
 
 // Both moves vertex→vertex over all incident edges (v.both, Q24).
 func (t *Traversal) Both(labels ...string) *Traversal {
-	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
-		return t.e.Neighbors(id, core.DirBoth, labels...)
-	})
+	return t.expand(OpBoth, KindVertex, labels)
 }
 
 // OutE moves vertex→edge (v.outE, Q26).
 func (t *Traversal) OutE(labels ...string) *Traversal {
-	return t.flatMap(KindEdge, func(id core.ID) core.Iter[core.ID] {
-		return t.e.IncidentEdges(id, core.DirOut, labels...)
-	})
+	return t.expand(OpOutE, KindEdge, labels)
 }
 
 // InE moves vertex→edge (v.inE, Q25).
 func (t *Traversal) InE(labels ...string) *Traversal {
-	return t.flatMap(KindEdge, func(id core.ID) core.Iter[core.ID] {
-		return t.e.IncidentEdges(id, core.DirIn, labels...)
-	})
+	return t.expand(OpInE, KindEdge, labels)
 }
 
 // BothE moves vertex→edge (v.bothE, Q27).
 func (t *Traversal) BothE(labels ...string) *Traversal {
-	return t.flatMap(KindEdge, func(id core.ID) core.Iter[core.ID] {
-		return t.e.IncidentEdges(id, core.DirBoth, labels...)
-	})
+	return t.expand(OpBothE, KindEdge, labels)
 }
 
 // OutV moves edge→source vertex.
 func (t *Traversal) OutV() *Traversal {
-	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
-		src, _, err := t.e.EdgeEnds(id)
-		if err != nil {
-			return core.EmptyIter[core.ID]()
-		}
-		return core.SliceIter([]core.ID{src})
-	})
+	return t.append(Step{Op: OpOutV, Kind: KindVertex})
 }
 
 // InV moves edge→destination vertex.
 func (t *Traversal) InV() *Traversal {
-	return t.flatMap(KindVertex, func(id core.ID) core.Iter[core.ID] {
-		_, dst, err := t.e.EdgeEnds(id)
-		if err != nil {
-			return core.EmptyIter[core.ID]()
-		}
-		return core.SliceIter([]core.ID{dst})
-	})
+	return t.append(Step{Op: OpInV, Kind: KindVertex})
 }
 
 // Has filters elements on a property value (mid-pipeline .has step —
-// always a per-element probe, never an index).
+// a per-element probe unless the compiler fuses it into the source).
 func (t *Traversal) Has(name string, v core.Value) *Traversal {
-	return t.Filter(func(id core.ID) (bool, error) {
-		var got core.Value
-		var ok bool
-		if t.kind == KindVertex {
-			got, ok = t.e.VertexProp(id, name)
-		} else {
-			got, ok = t.e.EdgeProp(id, name)
-		}
-		return ok && got.Compare(v) == 0, nil
-	})
+	return t.append(Step{Op: OpHas, Kind: t.Kind(), Name: name, Value: v})
 }
 
 // HasLabel filters edges on their label.
 func (t *Traversal) HasLabel(label string) *Traversal {
-	return t.Filter(func(id core.ID) (bool, error) {
-		l, err := t.e.EdgeLabel(id)
-		if err != nil {
-			return false, nil
-		}
-		return l == label, nil
-	})
+	return t.append(Step{Op: OpHasLabel, Kind: t.Kind(), Label: label})
 }
 
 // Filter keeps the elements for which keep returns true; an error from
 // keep aborts the traversal (this is how engine failures such as
-// core.ErrOutOfMemory propagate out of Q28–Q31).
+// core.ErrOutOfMemory propagate out of Q28–Q31). The predicate is
+// opaque to the optimizer, so it is never reordered.
 func (t *Traversal) Filter(keep func(core.ID) (bool, error)) *Traversal {
-	src := t.src
-	return t.derive(t.kind, func() (core.ID, bool, error) {
-		for {
-			id, ok, err := src()
-			if err != nil || !ok {
-				return core.NoID, false, err
-			}
-			hit, err := keep(id)
-			if err != nil {
-				return core.NoID, false, err
-			}
-			if hit {
-				return id, true, nil
-			}
-		}
-	})
+	return t.append(Step{Op: OpFilterFunc, Kind: t.Kind(), Keep: keep})
 }
 
 // DegreeAtLeast keeps vertices with at least k incident edges in
 // direction d (the filter of Q28–Q30).
 func (t *Traversal) DegreeAtLeast(d core.Direction, k int64) *Traversal {
-	return t.Filter(func(id core.ID) (bool, error) {
-		deg, err := t.e.Degree(id, d)
-		if err != nil {
-			return false, err
-		}
-		return deg >= k, nil
-	})
+	return t.append(Step{Op: OpDegree, Kind: t.Kind(), Dir: d, K: k})
 }
 
 // Dedup suppresses repeated element ids (.dedup).
 func (t *Traversal) Dedup() *Traversal {
-	src := t.src
-	seen := make(map[core.ID]struct{})
-	return t.derive(t.kind, func() (core.ID, bool, error) {
-		for {
-			id, ok, err := src()
-			if err != nil || !ok {
-				return core.NoID, false, err
-			}
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			return id, true, nil
-		}
-	})
+	return t.append(Step{Op: OpDedup, Kind: t.Kind()})
 }
 
 // Except drops elements contained in the set (.except(vs)).
 func (t *Traversal) Except(set map[core.ID]struct{}) *Traversal {
-	return t.Filter(func(id core.ID) (bool, error) {
-		_, in := set[id]
-		return !in, nil
-	})
+	return t.append(Step{Op: OpExcept, Kind: t.Kind(), Set: set})
 }
 
 // Store adds every passing element to the set (.store(vs)).
 func (t *Traversal) Store(set map[core.ID]struct{}) *Traversal {
-	src := t.src
-	return t.derive(t.kind, func() (core.ID, bool, error) {
-		id, ok, err := src()
-		if err != nil || !ok {
-			return core.NoID, false, err
-		}
-		set[id] = struct{}{}
-		return id, true, nil
-	})
+	return t.append(Step{Op: OpStore, Kind: t.Kind(), Set: set})
 }
 
-// Limit stops the traversal after n elements (.limit).
+// Limit stops the traversal after n elements (.limit). The compiled
+// stream stops pulling its upstream — and therefore the engine
+// iterators — as soon as the budget is spent.
 func (t *Traversal) Limit(n int64) *Traversal {
-	src := t.src
-	var seen int64
-	return t.derive(t.kind, func() (core.ID, bool, error) {
-		if seen >= n {
-			return core.NoID, false, nil
-		}
-		id, ok, err := src()
-		if err != nil || !ok {
-			return core.NoID, false, err
-		}
-		seen++
-		return id, true, nil
-	})
+	return t.append(Step{Op: OpLimit, Kind: t.Kind(), N: n})
 }
 
 // --- terminal operations (deadline-aware) ---
 
+// drain compiles the plan (reordering and fusing when the optimizer is
+// enabled for ctx) and pulls every element through fn until fn returns
+// false or the stream ends.
 func (t *Traversal) drain(ctx context.Context, fn func(core.ID) bool) error {
+	src := t.compile(ctx)
 	n := 0
 	for {
 		if n%ctxCheckEvery == 0 {
@@ -324,7 +229,7 @@ func (t *Traversal) drain(ctx context.Context, fn func(core.ID) bool) error {
 			}
 		}
 		n++
-		id, ok, err := t.src()
+		id, ok, err := src()
 		if err != nil {
 			return err
 		}
@@ -389,13 +294,15 @@ func (t *Traversal) DistinctLabels(ctx context.Context) ([]string, error) {
 }
 
 // Values drains the traversal into one property value per element,
-// skipping elements without the property (.values(name)).
+// skipping elements without the property (.values(name)). The element
+// kind is derived from the plan's output step.
 func (t *Traversal) Values(ctx context.Context, name string) ([]core.Value, error) {
+	kind := t.Kind()
 	var out []core.Value
 	err := t.drain(ctx, func(id core.ID) bool {
 		var v core.Value
 		var ok bool
-		if t.kind == KindVertex {
+		if kind == KindVertex {
 			v, ok = t.e.VertexProp(id, name)
 		} else {
 			v, ok = t.e.EdgeProp(id, name)

@@ -1,0 +1,124 @@
+package gremlin
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The optimizer toggle travels in the context, not in package state:
+// determinism tests run optimized and unoptimized traversals
+// concurrently in one process, and a global flag would race.
+
+type noOptimizerKey struct{}
+
+// WithoutOptimizer returns a context under which traversal compilation
+// skips filter reordering and implicit source fusion, executing the
+// plan exactly as written (the -optimize=false escape hatch for A/B
+// runs). Explicit source steps (G.VHas/G.EHas/G.EHasLabel) still hit
+// the engine's index surface — that dispatch is part of the paper's
+// query semantics, not an optimization.
+func WithoutOptimizer(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noOptimizerKey{}, true)
+}
+
+// OptimizerEnabled reports whether traversal compilation under ctx may
+// reorder and fuse steps.
+func OptimizerEnabled(ctx context.Context) bool {
+	off, _ := ctx.Value(noOptimizerKey{}).(bool)
+	return !off
+}
+
+// engineStats returns the engine's load-time planner statistics, or nil
+// when the engine has none (the optimizer then falls back to fixed
+// heuristic selectivities).
+func engineStats(e core.Engine) *core.PlanStats {
+	if p, ok := e.(core.PlanStatsProvider); ok {
+		return p.PlanStats()
+	}
+	return nil
+}
+
+// optimize returns a reordered copy of the plan: within each maximal
+// run of consecutive pure filters (isFilter), steps are stable-sorted
+// by ascending rank = (selectivity−1)/cost, so cheap selective
+// predicates run first and expensive ones see the fewest elements.
+//
+// Only pure filters commute. Each one's verdict depends solely on the
+// element id (Except reads a set, but between two adjacent filters no
+// Store step can mutate it — Store is a barrier that terminates the
+// run), so permuting a run changes neither the surviving element set
+// nor its order: survivors still flow in upstream order, and dropped
+// elements are dropped regardless of which predicate rejects first.
+// Everything else — expansions, Dedup, Store, Limit, Sample, opaque
+// FilterFunc predicates — pins its position.
+func optimize(steps []Step, stats *core.PlanStats) []Step {
+	out := append([]Step(nil), steps...)
+	for i := 0; i < len(out); {
+		if !out[i].isFilter() {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(out) && out[j].isFilter() {
+			j++
+		}
+		if j-i > 1 {
+			run := out[i:j]
+			sort.SliceStable(run, func(a, b int) bool {
+				return rank(run[a], stats) < rank(run[b], stats)
+			})
+		}
+		i = j
+	}
+	return out
+}
+
+// rank orders commutable filters: (selectivity−1)/cost. A filter that
+// drops many elements per unit of work ranks most negative and runs
+// first; ties keep builder order (the sort is stable).
+func rank(s Step, stats *core.PlanStats) float64 {
+	return (selectivity(s, stats) - 1) / cost(s)
+}
+
+// selectivity estimates the fraction of elements a filter passes.
+// Label and degree predicates read the snapshot statistics when the
+// engine carries them; property equality has no per-value statistics
+// (the repo keeps no histogram machinery, by design) and uses a fixed
+// heuristic.
+func selectivity(s Step, stats *core.PlanStats) float64 {
+	switch s.Op {
+	case OpHasLabel:
+		if stats != nil {
+			return stats.LabelSelectivity(s.Label)
+		}
+		return 0.1
+	case OpHas:
+		return 0.25
+	case OpDegree:
+		if stats != nil && s.Kind == KindVertex {
+			return stats.DegreeAtLeastFrac(s.Dir, s.K)
+		}
+		return 0.5
+	case OpExcept:
+		return 0.9
+	}
+	return 1
+}
+
+// cost is the relative per-element price of evaluating a filter:
+// label and set probes are one lookup, property probes fetch and
+// compare a value, and degree thresholds walk or count incident edges
+// (potentially a full chain traversal on the linked-list engines).
+func cost(s Step) float64 {
+	switch s.Op {
+	case OpHasLabel, OpExcept:
+		return 1
+	case OpHas:
+		return 2
+	case OpDegree:
+		return 8
+	}
+	return 1
+}

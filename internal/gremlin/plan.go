@@ -1,0 +1,192 @@
+package gremlin
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Op identifies one logical step kind of the traversal plan. Builder
+// methods append Step values; nothing executes until a terminal
+// compiles the plan (see compile.go), which is what makes steps
+// inspectable, reorderable and explainable before any element flows.
+type Op uint8
+
+// Plan step operators.
+const (
+	// Sources (exactly one, always first).
+	OpSourceV   Op = iota // all vertices (g.V)
+	OpSourceE             // all edges (g.E)
+	OpSourceVID           // one vertex by id (g.V(id))
+	OpSourceEID           // one edge by id (g.E(id))
+
+	// Filters — pure per-element predicates; commutable (see
+	// optimize.go for the commutability rules).
+	OpHas      // property equality
+	OpHasLabel // edge label equality
+	OpDegree   // degree-at-least threshold
+	OpExcept   // drop members of a set
+
+	// Expansions — change the element stream.
+	OpOut   // vertex → vertex, outgoing
+	OpIn    // vertex → vertex, incoming
+	OpBoth  // vertex → vertex, both
+	OpOutE  // vertex → edge, outgoing
+	OpInE   // vertex → edge, incoming
+	OpBothE // vertex → edge, both
+	OpOutV  // edge → source vertex
+	OpInV   // edge → destination vertex
+
+	// Barriers and stream shapers — order-pinned.
+	OpFilterFunc // opaque user predicate (side effects unknown)
+	OpDedup      // first occurrence of each id
+	OpStore      // add passing elements to a set
+	OpLimit      // stop after n elements
+	OpSample     // deterministic reservoir sample
+)
+
+// String returns the operator's Gremlin-flavoured name.
+func (op Op) String() string {
+	switch op {
+	case OpSourceV:
+		return "V()"
+	case OpSourceE:
+		return "E()"
+	case OpSourceVID:
+		return "V(id)"
+	case OpSourceEID:
+		return "E(id)"
+	case OpHas:
+		return "has"
+	case OpHasLabel:
+		return "hasLabel"
+	case OpDegree:
+		return "degreeAtLeast"
+	case OpExcept:
+		return "except"
+	case OpOut:
+		return "out"
+	case OpIn:
+		return "in"
+	case OpBoth:
+		return "both"
+	case OpOutE:
+		return "outE"
+	case OpInE:
+		return "inE"
+	case OpBothE:
+		return "bothE"
+	case OpOutV:
+		return "outV"
+	case OpInV:
+		return "inV"
+	case OpFilterFunc:
+		return "filter"
+	case OpDedup:
+		return "dedup"
+	case OpStore:
+		return "store"
+	case OpLimit:
+		return "limit"
+	case OpSample:
+		return "sample"
+	}
+	return "unknown"
+}
+
+// Step is one declarative node of the logical plan. Only the fields
+// its Op consumes are set.
+type Step struct {
+	Op   Op
+	Kind Kind // element kind this step OUTPUTS (and, for filters, filters)
+
+	Name  string     // Has: property name
+	Value core.Value // Has: property value
+	Label string     // HasLabel: edge label
+
+	Labels []string       // expansions: label restriction
+	Dir    core.Direction // Degree: direction
+	K      int64          // Degree: threshold
+	N      int64          // Limit / Sample: element budget
+	Seed   int64          // Sample: PRNG seed
+	ID     core.ID        // SourceVID / SourceEID
+
+	Keep func(core.ID) (bool, error) // FilterFunc predicate
+	Set  map[core.ID]struct{}        // Except / Store set
+
+	// Explicit marks a Has/HasLabel written through the G.VHas /
+	// G.EHas / G.EHasLabel entry constructors: the workload requests
+	// the engine's index surface deliberately (the paper's source-step
+	// fast path), so the compiler fuses it into the source even with
+	// the optimizer off. A plain mid-chain .has() sets it false and is
+	// fused only when the optimizer is on.
+	Explicit bool
+}
+
+// label renders the step with its arguments, e.g. `has(name=x)`.
+func (s Step) label() string {
+	switch s.Op {
+	case OpHas:
+		return fmt.Sprintf("has(%s=%s)", s.Name, s.Value)
+	case OpHasLabel:
+		return fmt.Sprintf("hasLabel(%s)", s.Label)
+	case OpDegree:
+		return fmt.Sprintf("degreeAtLeast(%s,%d)", s.Dir, s.K)
+	case OpExcept:
+		return fmt.Sprintf("except(|set|=%d)", len(s.Set))
+	case OpOut, OpIn, OpBoth, OpOutE, OpInE, OpBothE:
+		if len(s.Labels) > 0 {
+			return fmt.Sprintf("%s(%s)", s.Op, strings.Join(s.Labels, ","))
+		}
+		return s.Op.String() + "()"
+	case OpLimit:
+		return fmt.Sprintf("limit(%d)", s.N)
+	case OpSample:
+		return fmt.Sprintf("sample(%d)", s.N)
+	case OpSourceVID, OpSourceEID:
+		return s.Op.String()
+	case OpSourceV, OpSourceE:
+		return s.Op.String()
+	default:
+		return s.Op.String() + "()"
+	}
+}
+
+// isFilter reports whether the step is a pure per-element predicate:
+// its verdict depends only on the element id (and, for Except, on set
+// contents that nothing between two filters can change), so any two
+// adjacent filters commute without changing the output sequence.
+func (s Step) isFilter() bool {
+	switch s.Op {
+	case OpHas, OpHasLabel, OpDegree, OpExcept:
+		return true
+	}
+	return false
+}
+
+// isSource reports whether the step roots the plan.
+func (s Step) isSource() bool {
+	switch s.Op {
+	case OpSourceV, OpSourceE, OpSourceVID, OpSourceEID:
+		return true
+	}
+	return false
+}
+
+// Steps returns a copy of the traversal's logical plan, in builder
+// order (before any optimization).
+func (t *Traversal) Steps() []Step {
+	return append([]Step(nil), t.steps...)
+}
+
+// outputKind derives the element kind a plan produces from its final
+// step — the plan is the single source of truth, so a terminal that
+// needs the kind (OrderBy, Values) can never consult a stale field
+// after steps have been reordered or fused.
+func outputKind(steps []Step) Kind {
+	if len(steps) == 0 {
+		return KindVertex
+	}
+	return steps[len(steps)-1].Kind
+}

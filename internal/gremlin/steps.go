@@ -28,13 +28,17 @@ type Ranked struct {
 
 // OrderBy drains the traversal and sorts elements by the given property
 // (elements lacking it sort last), ascending or descending — the
-// order().by() step. Ties break by ID for determinism.
+// order().by() step. Ties break by ID for determinism. The element
+// kind is derived from the plan's output step, so a plan whose filters
+// were reordered (or whose last expansion changed the element kind)
+// can never fetch vertex properties for an edge stream.
 func (t *Traversal) OrderBy(ctx context.Context, name string, descending bool) ([]Ranked, error) {
+	kind := t.Kind()
 	var out []Ranked
 	err := t.drain(ctx, func(id core.ID) bool {
 		var v core.Value
 		var ok bool
-		if t.kind == KindVertex {
+		if kind == KindVertex {
 			v, ok = t.e.VertexProp(id, name)
 		} else {
 			v, ok = t.e.EdgeProp(id, name)
@@ -82,38 +86,12 @@ func (t *Traversal) TopK(ctx context.Context, name string, k int, descending boo
 
 // Sample keeps a uniform random sample of up to n elements (reservoir
 // sampling with a deterministic seed — the harness requires identical
-// random choices across engines, per the paper's methodology). The
-// upstream is drained on the first pull.
+// random choices across engines, per the paper's methodology). Sampling
+// is a barrier step: the optimizer never moves filters across it, so
+// the reservoir sees the same upstream sequence — and makes the same
+// random choices — optimized or not.
 func (t *Traversal) Sample(n int, seed int64) *Traversal {
-	src := t.src
-	var inner core.Iter[core.ID]
-	return t.derive(t.kind, func() (core.ID, bool, error) {
-		if inner == nil {
-			reservoir := make([]core.ID, 0, n)
-			rng := splitMix(uint64(seed))
-			count := 0
-			for {
-				id, ok, err := src()
-				if err != nil {
-					return core.NoID, false, err
-				}
-				if !ok {
-					break
-				}
-				count++
-				if len(reservoir) < n {
-					reservoir = append(reservoir, id)
-					continue
-				}
-				if j := int(rng() % uint64(count)); j < n {
-					reservoir[j] = id
-				}
-			}
-			inner = core.SliceIter(reservoir)
-		}
-		id, ok := inner()
-		return id, ok, nil
-	})
+	return t.append(Step{Op: OpSample, Kind: t.Kind(), N: int64(n), Seed: seed})
 }
 
 // splitMix returns a deterministic PRNG closure.

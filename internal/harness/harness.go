@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/engines"
+	"repro/internal/gremlin"
 	"repro/internal/workload"
 )
 
@@ -99,6 +100,13 @@ type Config struct {
 	// FrozenClock records every duration as zero, making exports fully
 	// deterministic — the knob behind byte-identical CI comparisons.
 	FrozenClock bool
+	// NoOptimize disables the gremlin traversal optimizer (filter
+	// reordering and implicit index fusion) for every query in the run —
+	// the -optimize=false escape hatch for A/B comparisons. Optimized
+	// and unoptimized plans are guaranteed element-identical, so the
+	// flag — like Workers — never changes results and is absent from
+	// the checkpoint fingerprint.
+	NoOptimize bool
 	// ErrorsFatal aborts the run on the first engine construction or
 	// load error instead of recording the cell as DNF and continuing.
 	ErrorsFatal bool
@@ -350,9 +358,20 @@ func (r *Runner) loadInto(engine, dataset string) (core.Engine, *core.LoadResult
 	return e, res, elapsed, nil
 }
 
+// queryContext derives the context every query execution runs under:
+// the given time budget, plus the optimizer escape hatch when the run
+// was configured with NoOptimize.
+func (r *Runner) queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	if r.cfg.NoOptimize {
+		ctx = gremlin.WithoutOptimizer(ctx)
+	}
+	return ctx, cancel
+}
+
 // timeQuery runs one query execution under the configured timeout.
 func (r *Runner) timeQuery(e core.Engine, q *workload.Query, p workload.Params) Measurement {
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+	ctx, cancel := r.queryContext(r.cfg.Timeout)
 	defer cancel()
 	start := r.now()
 	res, err := q.Run(ctx, e, p)

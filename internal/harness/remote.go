@@ -77,6 +77,12 @@ type WorkerHandler struct {
 	// DatasetCacheDir via the same atomic write path generated ones
 	// use, so — like the cache itself — fetching never changes results.
 	FetchArtifacts bool
+	// NoOptimize disables the gremlin traversal optimizer for every
+	// accepted run (the worker-side -optimize=false escape hatch).
+	// Optimized and unoptimized plans are element-identical, so — like
+	// CellWorkers — the knob changes this worker's wall-clock time,
+	// never the results it reports.
+	NoOptimize bool
 	// Progress, when non-nil, receives the per-cell progress lines of
 	// accepted runs.
 	Progress io.Writer
@@ -114,6 +120,7 @@ func (h *WorkerHandler) Accept(hello remote.Hello, artifacts remote.ArtifactFetc
 		cfg := configFromFingerprint(fp)
 		cfg.CellWorkers = h.CellWorkers
 		cfg.DatasetCacheDir = h.DatasetCacheDir
+		cfg.NoOptimize = h.NoOptimize
 		cfg.Progress = h.Progress
 		var err error
 		r, err = NewRunner(cfg)

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"context"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -439,7 +438,7 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 	// One context carries the whole batch's time budget; deriving it
 	// here (rather than computing a time.Now-based deadline per
 	// iteration) keeps the wall clock out of the measurement path.
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout*time.Duration(r.cfg.BatchSize))
+	ctx, cancel := r.queryContext(r.cfg.Timeout * time.Duration(r.cfg.BatchSize))
 	defer cancel()
 	iterate := func(i int) (int64, error) {
 		iter := i
@@ -552,7 +551,7 @@ func (r *Runner) runComplex(c *cellResult, engine string) error {
 	defer e.Close()
 	cp := ComplexFor(ds.g, r.cfg.Seed, res)
 	for _, cq := range workload.ComplexQueries() {
-		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+		ctx, cancel := r.queryContext(r.cfg.Timeout)
 		start := r.now()
 		res2, err := cq.Run(ctx, e, cp)
 		m := Measurement{Query: cq.Name, Elapsed: r.since(start), Count: res2.Count}
