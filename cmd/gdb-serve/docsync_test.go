@@ -1,0 +1,15 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/docsync"
+)
+
+// TestDocSyncFlagsDocumented fails when a gdb-serve flag is missing
+// from README.md and docs/ — the drift guard CI runs explicitly, so a
+// new flag cannot land undocumented.
+func TestDocSyncFlagsDocumented(t *testing.T) {
+	docsync.FlagsDocumented(t, "../..", func(fs *flag.FlagSet) { defineFlags(fs) })
+}

@@ -1,0 +1,167 @@
+// Command gdb-serve runs the sustained-traffic serving mode: one
+// engine, one dataset, N concurrent clients issuing a seeded mixed
+// workload, reporting throughput and latency quantiles as JSON — the
+// contended regime the paper's quiesced per-query measurements cannot
+// express (see METHODOLOGY.md, "Sustained-traffic serving").
+//
+// Usage:
+//
+//	gdb-serve -engine NAME [flags]
+//
+//	-engine        engine configuration to serve (required; see gdb-bench -list)
+//	-dataset       dataset name (default mico)
+//	-scale         dataset scale factor, 1.0 = paper sizes (default 0.002)
+//	-clients       concurrent client count (default 8)
+//	-duration      closed-loop run length when -ops is 0 (default 5s)
+//	-ops           operations per client; required with -frozen-clock
+//	-rate          total target arrival rate in ops/sec; 0 = closed loop
+//	-mix           workload mix, e.g. read=60,traverse=20,insert=10,update=10
+//	               (default read=70,traverse=30; mutating mixes need a
+//	               ConcurrentWriter-granting engine)
+//	-seed          random seed driving op streams and arrival times
+//	-frozen-clock  deterministic discrete-event mode: virtual time, byte-
+//	               identical op log and report for a fixed seed/mix/rate
+//	-oplog         write the intended-operation log (JSON lines) to this file
+//	-dataset-cache reuse dataset snapshot artifacts from this directory
+//	-v             print load/run progress to stderr
+//
+// Examples:
+//
+//	gdb-serve -engine neo-1.9 -dataset mico -clients 8 -duration 5s
+//	gdb-serve -engine sqlg -rate 2000 -mix read=50,traverse=20,insert=20,update=10
+//	gdb-serve -engine sparksee -frozen-clock -ops 1000 -oplog ops.jsonl
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/engines"
+	"repro/internal/serve"
+)
+
+// options holds every gdb-serve flag. Flags are declared through
+// defineFlags so the doc-sync test can enumerate them and verify each
+// one is documented in README/docs.
+type options struct {
+	engine       string
+	dataset      string
+	scale        float64
+	clients      int
+	duration     time.Duration
+	ops          int
+	rate         float64
+	mix          string
+	seed         int64
+	frozenClock  bool
+	oplog        string
+	datasetCache string
+	verbose      bool
+}
+
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.engine, "engine", "", "engine configuration to serve (required)")
+	fs.StringVar(&o.dataset, "dataset", "mico", "dataset name")
+	fs.Float64Var(&o.scale, "scale", 0.002, "dataset scale factor (1.0 = paper sizes)")
+	fs.IntVar(&o.clients, "clients", 8, "concurrent client count")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "run length when -ops is 0 (real clock only)")
+	fs.IntVar(&o.ops, "ops", 0, "operations per client (required with -frozen-clock)")
+	fs.Float64Var(&o.rate, "rate", 0, "total target arrival rate in ops/sec; 0 = closed loop")
+	fs.StringVar(&o.mix, "mix", serve.DefaultMix.String(), "workload mix, e.g. read=60,traverse=20,insert=10,update=10")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed for op streams and arrival times")
+	fs.BoolVar(&o.frozenClock, "frozen-clock", false, "deterministic virtual-time mode (byte-identical op log and report)")
+	fs.StringVar(&o.oplog, "oplog", "", "write the intended-operation log (JSON lines) to this file")
+	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.BoolVar(&o.verbose, "v", false, "print progress to stderr")
+	return o
+}
+
+func main() {
+	o := defineFlags(flag.CommandLine)
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "gdb-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o *options) error {
+	if o.engine == "" {
+		return errors.New("-engine is required (known: " + strings.Join(engines.Names(), ", ") + ")")
+	}
+	if engines.Constructor(o.engine) == nil {
+		return fmt.Errorf("unknown engine %q (known: %s)", o.engine, strings.Join(engines.Names(), ", "))
+	}
+	if datasets.ByName(o.dataset) == nil {
+		return fmt.Errorf("unknown dataset %q (known: %s)", o.dataset, strings.Join(datasets.Names(), ", "))
+	}
+	mix, err := serve.ParseMix(o.mix)
+	if err != nil {
+		return err
+	}
+
+	progress := func(format string, args ...any) {}
+	if o.verbose {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	progress("acquiring dataset %s at scale %g", o.dataset, o.scale)
+	g, _, err := datasets.Acquire(o.dataset, o.scale, o.datasetCache)
+	if err != nil {
+		return err
+	}
+	e, err := engines.New(o.engine)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	progress("loading %d vertices / %d edges into %s", g.NumVertices(), g.NumEdges(), o.engine)
+	res, err := e.BulkLoad(g)
+	if err != nil {
+		return fmt.Errorf("bulk load: %w", err)
+	}
+
+	cfg := serve.Config{
+		Engine:      e,
+		EngineName:  o.engine,
+		Dataset:     o.dataset,
+		Base:        res.VertexIDs,
+		Clients:     o.clients,
+		Ops:         o.ops,
+		Rate:        o.rate,
+		Mix:         mix,
+		Seed:        o.seed,
+		FrozenClock: o.frozenClock,
+	}
+	if o.ops == 0 {
+		cfg.Duration = o.duration
+	}
+	if o.oplog != "" {
+		f, err := os.Create(o.oplog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.OpLog = f
+	}
+
+	progress("serving: %d clients, mix %s, loop %s", o.clients, mix, loopName(o.rate))
+	rep, err := serve.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return rep.Encode(os.Stdout)
+}
+
+func loopName(rate float64) string {
+	if rate > 0 {
+		return "open"
+	}
+	return "closed"
+}

@@ -19,12 +19,15 @@ import (
 
 // Default is the set of result-producing packages: harness writes
 // streams and checkpoints, datasets writes snapshot artifacts,
-// graphson renders exports, remote ships all three across the wire.
+// graphson renders exports, remote ships all three across the wire,
+// serve emits latency reports and op logs that must replay
+// byte-identically under a frozen clock.
 var Default = analysis.Scope{
 	"internal/harness",
 	"internal/datasets",
 	"internal/graphson",
 	"internal/remote",
+	"internal/serve",
 }
 
 // Analyzer applies the rule over the Default scope.

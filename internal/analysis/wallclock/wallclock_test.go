@@ -11,6 +11,10 @@ func TestWallclockPositive(t *testing.T) {
 	atest.Run(t, "testdata/src/internal/harness", wallclock.Analyzer)
 }
 
+func TestWallclockServeScope(t *testing.T) {
+	atest.Run(t, "testdata/src/internal/serve", wallclock.Analyzer)
+}
+
 func TestWallclockOutOfScopeIsClean(t *testing.T) {
 	atest.Run(t, "testdata/src/outofscope", wallclock.Analyzer)
 }

@@ -7,9 +7,18 @@ package core
 // internal/workload), so that observed differences come from the
 // engines' physical organization, not from query phrasing.
 //
-// Engines are single-writer: the harness runs queries in isolation, as
-// the paper does. Read iterators must tolerate concurrent reads but not
-// concurrent mutation.
+// Concurrency contract: concurrent *reads* must always be race-free —
+// read paths may keep internal accounting only behind atomics or locks
+// (the -cell-workers fan-out depends on this). Engines are
+// single-writer: mutation is never safe concurrently with anything
+// else unless the caller serializes it, which is what Guard provides
+// (exclusive writer, shared readers). Two optional capabilities refine
+// the contract per engine: ConcurrentReader lets an engine veto read
+// fan-out when its read results depend on interleaving, and
+// ConcurrentWriter reports whether guarded mixed read/write workloads
+// yield serial-schedule-consistent results. The serving layer
+// (internal/serve) and the enginetest concurrency-conformance suite
+// are written against exactly this contract.
 type Engine interface {
 	// Meta describes the engine (Table 1).
 	Meta() EngineMeta

@@ -234,3 +234,10 @@ func sortedKeys[V any](m map[core.ID]V) []core.ID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// ConcurrentWrites implements core.ConcurrentWriter: the document
+// store keeps no result-affecting read-side state (the REST-boundary
+// accounting is an atomic byte counter), so under core.Guard's
+// exclusive-writer discipline mixed read/write workloads observe
+// serial-schedule-consistent documents and adjacency lists.
+func (e *Engine) ConcurrentWrites() bool { return true }

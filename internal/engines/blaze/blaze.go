@@ -225,3 +225,9 @@ func (e *Engine) firstSP(s, p int64) (int64, bool) {
 	e.forSP(s, p, func(o int64) bool { out, found = o, true; return false })
 	return out, found
 }
+
+// ConcurrentWrites implements core.ConcurrentWriter: the statement
+// indexes are mutated only by write operations, and read paths keep no
+// shared state, so under core.Guard's exclusive-writer discipline
+// mixed read/write workloads are serial-schedule consistent.
+func (e *Engine) ConcurrentWrites() bool { return true }

@@ -387,3 +387,10 @@ func (e *Engine) freeValuePayload(rec []byte) {
 		e.strs.Delete(getI64(rec, pPayload))
 	}
 }
+
+// ConcurrentWrites implements core.ConcurrentWriter: record stores and
+// relationship chains are touched only by write operations, and read
+// paths keep no shared state, so under core.Guard's exclusive-writer
+// discipline mixed read/write workloads are serial-schedule
+// consistent.
+func (e *Engine) ConcurrentWrites() bool { return true }

@@ -15,6 +15,14 @@ func TestConformanceV30(t *testing.T) {
 	enginetest.Run(t, func() core.Engine { return New(V30) })
 }
 
+func TestConcurrencyConformanceV19(t *testing.T) {
+	enginetest.RunConcurrency(t, func() core.Engine { return New(V19) })
+}
+
+func TestConcurrencyConformanceV30(t *testing.T) {
+	enginetest.RunConcurrency(t, func() core.Engine { return New(V30) })
+}
+
 func TestRecordIDsAreOffsets(t *testing.T) {
 	e := New(V19)
 	defer e.Close()

@@ -319,3 +319,10 @@ func (e *Engine) indexRemove(name string, v core.Value, id core.ID) {
 		}
 	}
 }
+
+// ConcurrentWrites implements core.ConcurrentWriter: RID chains and
+// property records are mutated only by write operations, and read
+// paths keep no shared state, so under core.Guard's exclusive-writer
+// discipline mixed read/write workloads are serial-schedule
+// consistent.
+func (e *Engine) ConcurrentWrites() bool { return true }

@@ -424,3 +424,10 @@ func (e *Engine) RemoveEdge(id core.ID) error {
 // depends on what else is running — the harness must not fan its
 // batches out.
 func (e *Engine) ConcurrentReads() bool { return false }
+
+// ConcurrentWrites implements core.ConcurrentWriter: denied for the
+// same reason reads are vetoed — the retention accounting makes
+// results depend on what else is in flight, so a mixed workload has no
+// serial schedule to be consistent with. Under core.Guard the engine
+// is fully serialized and serves read-only workloads.
+func (e *Engine) ConcurrentWrites() bool { return false }

@@ -13,6 +13,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, func() core.Engine { return New() })
 }
 
+func TestConcurrencyConformance(t *testing.T) {
+	enginetest.RunConcurrency(t, func() core.Engine { return New() })
+}
+
 func TestCountsArePopcounts(t *testing.T) {
 	e := New()
 	defer e.Close()

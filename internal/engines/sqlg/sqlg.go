@@ -140,3 +140,10 @@ func sortedIDs(ids []core.ID) []core.ID {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
+
+// ConcurrentWrites implements core.ConcurrentWriter: the relational
+// tables are mutated only by write operations and the planner's
+// read-side counters are atomics, so under core.Guard's
+// exclusive-writer discipline mixed read/write workloads are
+// serial-schedule consistent.
+func (e *Engine) ConcurrentWrites() bool { return true }

@@ -243,3 +243,9 @@ func (e *Engine) indexRemove(name string, v core.Value, id core.ID) {
 		}
 	}
 }
+
+// ConcurrentWrites implements core.ConcurrentWriter: the LSM store's
+// read-side row cache is internally locked and never affects results,
+// so under core.Guard's exclusive-writer discipline mixed read/write
+// workloads are serial-schedule consistent.
+func (e *Engine) ConcurrentWrites() bool { return true }

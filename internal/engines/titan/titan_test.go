@@ -15,6 +15,14 @@ func TestConformanceV10(t *testing.T) {
 	enginetest.Run(t, func() core.Engine { return New(V10) })
 }
 
+func TestConcurrencyConformanceV05(t *testing.T) {
+	enginetest.RunConcurrency(t, func() core.Engine { return New(V05) })
+}
+
+func TestConcurrencyConformanceV10(t *testing.T) {
+	enginetest.RunConcurrency(t, func() core.Engine { return New(V10) })
+}
+
 func TestDeltaEncodingCompactsAdjacency(t *testing.T) {
 	// A hub with many neighbours of nearby IDs must occupy less space
 	// per edge than fixed-width records would: the adjacency column

@@ -10,8 +10,11 @@ import (
 )
 
 // checkpointVersion guards the on-disk checkpoint format; bump it when
-// cellRecord or Fingerprint change shape.
-const checkpointVersion = 1
+// cellRecord or Fingerprint change shape, or when planGrid changes the
+// meaning of cell indexes. v2: the micro cell split into separately
+// resumable interactive (micro-i) and batch (micro-b) halves — a v1
+// checkpoint's indexes would misattribute every record.
+const checkpointVersion = 2
 
 // Fingerprint identifies the result-relevant part of a configuration:
 // two runs with equal fingerprints plan the same grid and measure the

@@ -35,7 +35,8 @@ func exportRun(t *testing.T, cfg Config) ([]byte, int) {
 func executedCells(progress string) int {
 	n := 0
 	for _, line := range strings.Split(progress, "\n") {
-		if strings.HasPrefix(line, "micro ") || strings.HasPrefix(line, "indexed ") || strings.HasPrefix(line, "complex ") {
+		if strings.HasPrefix(line, "micro-i ") || strings.HasPrefix(line, "micro-b ") ||
+			strings.HasPrefix(line, "indexed ") || strings.HasPrefix(line, "complex ") {
 			n++
 		}
 	}
@@ -181,6 +182,59 @@ func TestCrashAfterCellsResume(t *testing.T) {
 	}
 	if cells == 0 {
 		t.Fatal("resume after crash executed nothing")
+	}
+}
+
+// TestCrashBetweenMicroHalvesResume pins the sub-cell checkpoint
+// granularity: the interactive (micro-i) and batch (micro-b) halves of
+// a micro cell are separate grid cells, so a crash landing exactly
+// between them loses only the batch half. The resumed run must restore
+// micro-i from the checkpoint, re-execute micro-b (and everything
+// after), and export byte-identically to an uninterrupted run.
+func TestCrashBetweenMicroHalvesResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.Engines = []string{"sqlg"}
+	cfg.Datasets = []string{"frb-s"}
+	cfg.BatchSize = 2
+	cfg.FrozenClock = true
+
+	// Plan for one engine on one dataset: micro-i, micro-b, indexed.
+	cfg.CheckpointPath = filepath.Join(dir, "fresh.jsonl")
+	fresh, freshCells := exportRun(t, cfg)
+	if freshCells != 3 {
+		t.Fatalf("plan executed %d cells, want 3 (micro-i, micro-b, indexed)", freshCells)
+	}
+
+	// Crash after exactly one streamed cell: micro-i is checkpointed,
+	// micro-b is not — the crash falls on the half boundary.
+	cfg.CheckpointPath = filepath.Join(dir, "crash.jsonl")
+	cfg.CrashAfterCells = 1
+	cfg.Workers = 1
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.exit = func(int) { panic(crashSentinel{}) }
+	func() {
+		defer func() {
+			if rec := recover(); rec == nil {
+				t.Fatal("CrashAfterCells did not crash")
+			} else if _, ok := rec.(crashSentinel); !ok {
+				panic(rec)
+			}
+		}()
+		r.Run()
+	}()
+
+	cfg.CrashAfterCells = 0
+	cfg.Resume = true
+	resumed, resumedCells := exportRun(t, cfg)
+	if resumedCells != freshCells-1 {
+		t.Fatalf("resume executed %d cells, want %d (micro-i restored, micro-b + indexed re-run)", resumedCells, freshCells-1)
+	}
+	if !bytes.Equal(fresh, resumed) {
+		t.Fatalf("half-boundary resume diverges from uninterrupted run:\nfresh   %d bytes\nresumed %d bytes", len(fresh), len(resumed))
 	}
 }
 

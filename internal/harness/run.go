@@ -17,15 +17,24 @@ import (
 type jobKind int
 
 const (
-	jobMicro   jobKind = iota // load + micro workload, one (engine, dataset)
+	// The micro workload is split into two independently resumable
+	// cells per (engine, dataset): the interactive half also records
+	// the load/space measurement (it loads first in plan order), the
+	// batch half loads its own instance. Halving the cell granularity
+	// halves the work a crash can lose — the paper's micro grid
+	// dominates run time, and a cell is the checkpoint's atom.
+	jobMicroI  jobKind = iota // interactive micro half (records the load)
+	jobMicroB                 // batch micro half
 	jobIndexed                // Q11/Q5 with an attribute index (Figure 4(c))
 	jobComplex                // complex workload on ldbc (Figure 2)
 )
 
 func (k jobKind) String() string {
 	switch k {
-	case jobMicro:
-		return "micro"
+	case jobMicroI:
+		return "micro-i"
+	case jobMicroB:
+		return "micro-b"
 	case jobIndexed:
 		return "indexed"
 	case jobComplex:
@@ -257,7 +266,8 @@ func planGrid(engineNames, datasetNames []string) []gridJob {
 	var jobs []gridJob
 	for _, ds := range datasetNames {
 		for _, en := range engineNames {
-			jobs = append(jobs, gridJob{jobMicro, en, ds})
+			jobs = append(jobs, gridJob{jobMicroI, en, ds})
+			jobs = append(jobs, gridJob{jobMicroB, en, ds})
 			jobs = append(jobs, gridJob{jobIndexed, en, ds})
 		}
 		if ds == "ldbc" {
@@ -275,9 +285,12 @@ func (r *Runner) runCell(j gridJob) cellResult {
 	var c cellResult
 	var err error
 	switch j.kind {
-	case jobMicro:
-		r.progressf("micro %s on %s", j.engine, j.dataset)
-		err = r.runMicro(&c, j.engine, j.dataset)
+	case jobMicroI:
+		r.progressf("micro-i %s on %s", j.engine, j.dataset)
+		err = r.runMicro(&c, j.engine, j.dataset, ModeInteractive)
+	case jobMicroB:
+		r.progressf("micro-b %s on %s", j.engine, j.dataset)
+		err = r.runMicro(&c, j.engine, j.dataset, ModeBatch)
 	case jobIndexed:
 		r.progressf("indexed %s on %s", j.engine, j.dataset)
 		err = r.runIndexed(&c, j.engine, j.dataset)
@@ -336,33 +349,43 @@ func dnf(query string, err error) Measurement {
 	return Measurement{Query: query, Failed: true, Error: "DNF: " + err.Error()}
 }
 
-func (r *Runner) runMicro(c *cellResult, engine, dataset string) error {
+// runMicro executes one half of the micro workload — interactive or
+// batch — as its own grid cell. The halves share nothing at runtime
+// (each loads its own instance; ParamGen is pure per (query, iter), so
+// both derive identical parameters from the dataset and seed), which is
+// what lets a resumed run restore one half and re-execute only the
+// other. The interactive half doubles as the load/space measurement;
+// the batch half's load is purely operational.
+func (r *Runner) runMicro(c *cellResult, engine, dataset string, mode Mode) error {
 	ds := r.dataset(dataset)
 
-	record := func(m Measurement, mode Mode) {
+	record := func(m Measurement) {
 		m.Engine, m.Dataset, m.Mode = engine, dataset, mode
 		c.micro = append(c.micro, m)
 	}
 
 	e, res, loadTime, err := r.loadInto(engine, dataset)
 	if err != nil {
-		c.loads = append(c.loads, LoadMeasurement{
-			Engine: engine, Dataset: dataset, RawJSON: ds.rawJSON,
-			Failed: true, Error: err.Error(),
-		})
+		if mode == ModeInteractive {
+			c.loads = append(c.loads, LoadMeasurement{
+				Engine: engine, Dataset: dataset, RawJSON: ds.rawJSON,
+				Failed: true, Error: err.Error(),
+			})
+		}
 		for _, q := range queryOrder() {
 			q := q
 			for _, name := range queryCells(&q) {
-				record(dnf(name, err), ModeInteractive)
-				record(dnf(name, err), ModeBatch)
+				record(dnf(name, err))
 			}
 		}
 		return err
 	}
-	c.loads = append(c.loads, LoadMeasurement{
-		Engine: engine, Dataset: dataset,
-		Elapsed: loadTime, Space: e.SpaceUsage(), RawJSON: ds.rawJSON,
-	})
+	if mode == ModeInteractive {
+		c.loads = append(c.loads, LoadMeasurement{
+			Engine: engine, Dataset: dataset,
+			Elapsed: loadTime, Space: e.SpaceUsage(), RawJSON: ds.rawJSON,
+		})
+	}
 	pg := NewParamGen(ds.g, r.cfg.Seed)
 
 	var firstErr error
@@ -378,8 +401,7 @@ func (r *Runner) runMicro(c *cellResult, engine, dataset string) error {
 				// The shared instance is intact; only this query's cells
 				// are DNF.
 				for _, name := range queryCells(&q) {
-					record(dnf(name, err), ModeInteractive)
-					record(dnf(name, err), ModeBatch)
+					record(dnf(name, err))
 				}
 				if firstErr == nil {
 					firstErr = err
@@ -394,15 +416,19 @@ func (r *Runner) runMicro(c *cellResult, engine, dataset string) error {
 		if q.Num == 32 {
 			for depth := 2; depth <= 5; depth++ {
 				pg.SetDepth(depth)
-				m := r.timeQuery(exec, &q, pg.For(&q, 0, execRes))
-				m.Query = q.Name + depthSuffix(depth)
-				record(m, ModeInteractive)
-				record(r.batch(exec, &q, pg, execRes), ModeBatch)
+				if mode == ModeInteractive {
+					m := r.timeQuery(exec, &q, pg.For(&q, 0, execRes))
+					m.Query = q.Name + depthSuffix(depth)
+					record(m)
+				} else {
+					record(r.batch(exec, &q, pg, execRes))
+				}
 			}
 			pg.SetDepth(2)
+		} else if mode == ModeInteractive {
+			record(r.timeQuery(exec, &q, pg.For(&q, 0, execRes)))
 		} else {
-			record(r.timeQuery(exec, &q, pg.For(&q, 0, execRes)), ModeInteractive)
-			record(r.batch(exec, &q, pg, execRes), ModeBatch)
+			record(r.batch(exec, &q, pg, execRes))
 		}
 
 		if exec != e {
@@ -443,9 +469,10 @@ func (r *Runner) batch(e core.Engine, q *workload.Query, pg *ParamGen, res *core
 	iterate := func(i int) (int64, error) {
 		iter := i
 		if q.Mutates {
-			// The interactive execution already consumed pool slot 0 on
-			// this instance; destructive batch iterations must target
-			// fresh objects.
+			// Destructive iterations start at pool slot 1: slot 0 is the
+			// interactive half's, and keeping the offset keeps batch
+			// parameters identical whether or not the halves ever shared
+			// an instance (they did before the micro cell was split).
 			iter = i + 1
 		}
 		res2, err := q.Run(ctx, e, pg.For(q, iter, res))

@@ -36,9 +36,9 @@ func TestStatusCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 engines × (micro + indexed) on one dataset.
-	if st.Total != 4 || st.Done != 4 || st.Remaining() != 0 {
-		t.Fatalf("complete run: total=%d done=%d remaining=%d, want 4/4/0", st.Total, st.Done, st.Remaining())
+	// 2 engines × (micro-i + micro-b + indexed) on one dataset.
+	if st.Total != 6 || st.Done != 6 || st.Remaining() != 0 {
+		t.Fatalf("complete run: total=%d done=%d remaining=%d, want 6/6/0", st.Total, st.Done, st.Remaining())
 	}
 	if st.DNF == 0 {
 		t.Fatal("fail-load engine produced no DNF cells in the status")
@@ -70,14 +70,14 @@ func TestStatusCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Done != 1 || st.Remaining() != 3 {
-		t.Fatalf("truncated run: done=%d remaining=%d, want 1/3", st.Done, st.Remaining())
+	if st.Done != 1 || st.Remaining() != 5 {
+		t.Fatalf("truncated run: done=%d remaining=%d, want 1/5", st.Done, st.Remaining())
 	}
 
 	var out bytes.Buffer
 	st.Render(&out)
 	s := out.String()
-	for _, want := range []string{"1/4 cells done", "3 remaining", "fail-load-status", "sqlg", "frozen-clock"} {
+	for _, want := range []string{"1/6 cells done", "5 remaining", "fail-load-status", "sqlg", "frozen-clock"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("rendered status missing %q:\n%s", want, s)
 		}

@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines"
+)
+
+// loadedEngine builds a fresh named engine with a small seeded graph
+// loaded, returning the engine and the base vertex pool.
+func loadedEngine(t *testing.T, name string) (core.Engine, []core.ID) {
+	t.Helper()
+	e, err := engines.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nv, ne = 40, 80
+	g := core.NewGraph(nv, ne)
+	for i := 0; i < nv; i++ {
+		g.AddVertex(core.Props{"n": core.I(int64(i))})
+	}
+	for i := 0; i < ne; i++ {
+		g.AddEdge(i%nv, (i*7+3)%nv, "l", nil)
+	}
+	res, err := e.BulkLoad(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, res.VertexIDs
+}
+
+// runFrozenOnce executes one frozen-clock run on a fresh engine and
+// returns the op log and report bytes.
+func runFrozenOnce(t *testing.T, engine string, cfg Config) (oplog, report []byte) {
+	t.Helper()
+	e, base := loadedEngine(t, engine)
+	defer e.Close()
+	var logBuf, repBuf bytes.Buffer
+	cfg.Engine = e
+	cfg.EngineName = engine
+	cfg.Base = base
+	cfg.FrozenClock = true
+	cfg.OpLog = &logBuf
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Encode(&repBuf); err != nil {
+		t.Fatal(err)
+	}
+	return logBuf.Bytes(), repBuf.Bytes()
+}
+
+// TestFrozenReplayByteIdentical is the deterministic-replay guarantee:
+// same seed + mix + rate ⇒ byte-identical operation log AND report,
+// run to run, on a fresh engine each time.
+func TestFrozenReplayByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"closed-mixed", Config{Dataset: "tiny", Clients: 4, Ops: 200, Seed: 7,
+			Mix: Mix{Read: 60, Traverse: 20, Insert: 10, Update: 10}}},
+		{"open-read-only", Config{Dataset: "tiny", Clients: 3, Ops: 150, Seed: 11,
+			Rate: 2e6, Mix: Mix{Read: 70, Traverse: 30}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			log1, rep1 := runFrozenOnce(t, "sqlg", tc.cfg)
+			log2, rep2 := runFrozenOnce(t, "sqlg", tc.cfg)
+			if !bytes.Equal(log1, log2) {
+				t.Fatal("op logs differ between identical frozen runs")
+			}
+			if !bytes.Equal(rep1, rep2) {
+				t.Fatalf("reports differ between identical frozen runs:\n%s\n---\n%s", rep1, rep2)
+			}
+			if len(log1) == 0 {
+				t.Fatal("empty op log")
+			}
+			// A different seed must actually change the schedule.
+			tc.cfg.Seed++
+			log3, _ := runFrozenOnce(t, "sqlg", tc.cfg)
+			if bytes.Equal(log1, log3) {
+				t.Fatal("op log insensitive to seed")
+			}
+		})
+	}
+}
+
+// TestFrozenReportShape sanity-checks the virtual schedule: closed-loop
+// latencies are exactly the virtual service time; the op count is
+// clients × ops; per_op covers exactly the mixed kinds in order.
+func TestFrozenReportShape(t *testing.T) {
+	e, base := loadedEngine(t, "neo-1.9")
+	defer e.Close()
+	rep, err := Run(Config{
+		Engine: e, EngineName: "neo-1.9", Dataset: "tiny", Base: base,
+		Clients: 4, Ops: 100, Seed: 3, FrozenClock: true,
+		Mix: Mix{Read: 50, Traverse: 20, Insert: 20, Update: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema || rep.Loop != "closed" || !rep.FrozenClock {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	if rep.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.Latency.P50 != virtualServiceNS || rep.Latency.Max != virtualServiceNS {
+		t.Fatalf("closed-loop virtual latency = %+v, want constant %d", rep.Latency, virtualServiceNS)
+	}
+	if rep.DurationNS != 100*virtualServiceNS {
+		t.Fatalf("virtual duration = %d", rep.DurationNS)
+	}
+	var kinds []string
+	var n int64
+	for _, o := range rep.PerOp {
+		kinds = append(kinds, o.Op)
+		n += o.Count
+	}
+	if strings.Join(kinds, ",") != "read,traverse,insert,update" {
+		t.Fatalf("per_op order = %v", kinds)
+	}
+	if n != rep.Ops {
+		t.Fatalf("per_op counts sum to %d, total %d", n, rep.Ops)
+	}
+}
+
+// TestFrozenOpenLoopShowsQueueing drives virtual arrivals faster than
+// the virtual service rate: an open loop must not slow down with the
+// server, so the backlog shows up as growing intended-start latency —
+// the behaviour coordinated-omission-safe measurement exists to expose.
+func TestFrozenOpenLoopShowsQueueing(t *testing.T) {
+	e, base := loadedEngine(t, "sqlg")
+	defer e.Close()
+	// 2e6 ops/sec on one client = one arrival per 500ns mean, against a
+	// 1000ns virtual service time: the queue grows without bound.
+	rep, err := Run(Config{
+		Engine: e, EngineName: "sqlg", Dataset: "tiny", Base: base,
+		Clients: 1, Ops: 500, Seed: 5, Rate: 2e6, FrozenClock: true,
+		Mix: Mix{Read: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loop != "open" {
+		t.Fatalf("loop = %q", rep.Loop)
+	}
+	if rep.Latency.Max < 20*virtualServiceNS {
+		t.Fatalf("max latency %d shows no queueing", rep.Latency.Max)
+	}
+	if rep.Latency.P99 <= rep.Latency.P50 {
+		t.Fatalf("flat latency distribution under overload: %+v", rep.Latency)
+	}
+}
+
+// TestMutatingMixRequiresWriteGrant pins the capability gate: sparksee
+// vetoes concurrent use, so a mutating mix is refused while a read-only
+// mix runs (fully serialized under the guard).
+func TestMutatingMixRequiresWriteGrant(t *testing.T) {
+	e, base := loadedEngine(t, "sparksee")
+	defer e.Close()
+	_, err := Run(Config{
+		Engine: e, EngineName: "sparksee", Dataset: "tiny", Base: base,
+		Clients: 2, Ops: 10, Seed: 1, FrozenClock: true,
+		Mix: Mix{Read: 90, Insert: 10},
+	})
+	if err == nil || !strings.Contains(err.Error(), "ConcurrentWriter") {
+		t.Fatalf("mutating mix on sparksee: err = %v", err)
+	}
+	rep, err := Run(Config{
+		Engine: e, EngineName: "sparksee", Dataset: "tiny", Base: base,
+		Clients: 2, Ops: 50, Seed: 1, FrozenClock: true,
+		Mix: Mix{Read: 70, Traverse: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 100 || rep.Errors != 0 {
+		t.Fatalf("read-only run on sparksee: %+v", rep)
+	}
+}
+
+// fakeClock is a deterministic injected clock for real-mode tests:
+// every read advances time by a fixed step, and sleeping advances it by
+// the requested amount.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(f.step)
+	return f.t
+}
+
+func (f *fakeClock) since(t0 time.Time) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(f.step)
+	return f.t.Sub(t0)
+}
+
+func (f *fakeClock) sleep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// TestRealModeOnInjectedClock exercises the goroutine executor without
+// touching the wall clock: a fixed per-client op count on a mixed
+// workload, with the op log covering every issued operation.
+func TestRealModeOnInjectedClock(t *testing.T) {
+	e, base := loadedEngine(t, "neo-3.0")
+	defer e.Close()
+	fc := &fakeClock{step: time.Microsecond}
+	r := &Runner{now: fc.now, since: fc.since, sleep: fc.sleep}
+	var logBuf bytes.Buffer
+	rep, err := r.Run(Config{
+		Engine: e, EngineName: "neo-3.0", Dataset: "tiny", Base: base,
+		Clients: 3, Ops: 40, Seed: 9, OpLog: &logBuf,
+		Mix: Mix{Read: 50, Traverse: 20, Insert: 20, Update: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 120 || rep.FrozenClock || rep.Loop != "closed" {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.Throughput <= 0 || rep.DurationNS <= 0 {
+		t.Fatalf("throughput %f over %dns", rep.Throughput, rep.DurationNS)
+	}
+	if n := bytes.Count(logBuf.Bytes(), []byte("\n")); n != 120 {
+		t.Fatalf("op log has %d lines, want 120", n)
+	}
+	// Engine state must reflect the inserts: base plus one vertex per
+	// insert op.
+	var inserts int64
+	for _, o := range rep.PerOp {
+		if o.Op == "insert" {
+			inserts = o.Count
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("mix produced no inserts")
+	}
+	if n, _ := e.CountVertices(); n != int64(len(base))+inserts {
+		t.Fatalf("vertices = %d, want %d base + %d inserts", n, len(base), inserts)
+	}
+}
+
+// TestRealModeOpenLoopOnInjectedClock checks the open-loop scheduler
+// sleeps to its intended arrivals and records intended-start latencies.
+func TestRealModeOpenLoopOnInjectedClock(t *testing.T) {
+	e, base := loadedEngine(t, "sqlg")
+	defer e.Close()
+	fc := &fakeClock{step: time.Microsecond}
+	r := &Runner{now: fc.now, since: fc.since, sleep: fc.sleep}
+	rep, err := r.Run(Config{
+		Engine: e, EngineName: "sqlg", Dataset: "tiny", Base: base,
+		Clients: 2, Ops: 30, Seed: 4, Rate: 1000, // 1k ops/sec: far slower than the fake clock's service
+		Mix: Mix{Read: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loop != "open" || rep.Ops != 60 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Latency.Min < 0 || rep.Latency.Max == 0 {
+		t.Fatalf("latency summary: %+v", rep.Latency)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e, base := loadedEngine(t, "sqlg")
+	defer e.Close()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no-engine", Config{Base: base, Clients: 1, Ops: 1}, "no engine"},
+		{"no-base", Config{Engine: e, Clients: 1, Ops: 1}, "base"},
+		{"no-clients", Config{Engine: e, Base: base, Ops: 1}, "clients"},
+		{"frozen-needs-ops", Config{Engine: e, Base: base, Clients: 1, FrozenClock: true}, "op count"},
+		{"no-bound", Config{Engine: e, Base: base, Clients: 1}, "-ops or -duration"},
+		{"neg-rate", Config{Engine: e, Base: base, Clients: 1, Ops: 1, Rate: -1}, "rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("read=60, traverse=20,insert=15,update=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Read: 60, Traverse: 20, Insert: 15, Update: 5}) {
+		t.Fatalf("mix = %+v", m)
+	}
+	if m.String() != "read=60,traverse=20,insert=15,update=5" {
+		t.Fatalf("String = %q", m.String())
+	}
+	if !m.Mutating() {
+		t.Fatal("mutating mix not detected")
+	}
+	ro, _ := ParseMix("read=1")
+	if ro.Mutating() {
+		t.Fatal("read-only mix flagged mutating")
+	}
+	for _, bad := range []string{"read", "read=-1", "scan=5", "read=0,traverse=0", ""} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAllEnginesServeReadTraverse runs a short frozen-clock read+
+// traverse workload on every registered configuration — the acceptance
+// criterion that serving works across all seven engines (nine
+// configurations), including the ConcurrentReader-vetoing one.
+func TestAllEnginesServeReadTraverse(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			e, base := loadedEngine(t, name)
+			defer e.Close()
+			rep, err := Run(Config{
+				Engine: e, EngineName: name, Dataset: "tiny", Base: base,
+				Clients: 4, Ops: 50, Seed: 2, FrozenClock: true,
+				Mix: Mix{Read: 70, Traverse: 30},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops != 200 || rep.Errors != 0 {
+				t.Fatalf("%s: %+v", name, rep)
+			}
+			for _, q := range []int64{rep.Latency.P50, rep.Latency.P95, rep.Latency.P99, rep.Latency.P999} {
+				if q <= 0 {
+					t.Fatalf("%s: missing quantile in %+v", name, rep.Latency)
+				}
+			}
+		})
+	}
+}
+
+// TestMixedWorkloadOnGrantingEngines runs a mutating mix on every
+// configuration that grants ConcurrentWriter — the second acceptance
+// criterion — and verifies the engine absorbed the writes.
+func TestMixedWorkloadOnGrantingEngines(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			e, base := loadedEngine(t, name)
+			defer e.Close()
+			if !core.Guard(e).ConcurrentWrites() {
+				t.Skipf("%s does not grant ConcurrentWriter", name)
+			}
+			rep, err := Run(Config{
+				Engine: e, EngineName: name, Dataset: "tiny", Base: base,
+				Clients: 4, Ops: 60, Seed: 8, FrozenClock: true,
+				Mix: Mix{Read: 40, Traverse: 20, Insert: 25, Update: 15},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops != 240 {
+				t.Fatalf("%s: ops = %d", name, rep.Ops)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("%s: %d errors", name, rep.Errors)
+			}
+			var inserts int64
+			for _, o := range rep.PerOp {
+				if o.Op == "insert" {
+					inserts = o.Count
+				}
+			}
+			if n, _ := e.CountVertices(); n != int64(len(base))+inserts {
+				t.Fatalf("%s: vertices = %d, want %d+%d", name, n, len(base), inserts)
+			}
+		})
+	}
+}
+
+// TestReportEncodeDeterministic double-encodes one report and compares
+// bytes — a guard against map-backed fields sneaking into the schema.
+func TestReportEncodeDeterministic(t *testing.T) {
+	e, base := loadedEngine(t, "sqlg")
+	defer e.Close()
+	rep, err := Run(Config{
+		Engine: e, EngineName: "sqlg", Dataset: "tiny", Base: base,
+		Clients: 2, Ops: 20, Seed: 6, FrozenClock: true, Mix: DefaultMix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := rep.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("report encoding unstable")
+	}
+	for _, field := range []string{`"schema"`, `"throughput_ops_per_sec"`, `"p999"`, `"per_op"`} {
+		if !strings.Contains(a.String(), field) {
+			t.Fatalf("report missing %s:\n%s", field, a.String())
+		}
+	}
+}
+
+// TestGuardedConcurrentServeRace is the -race companion for real mode:
+// many clients on a mutating mix against a granting engine, plus the
+// vetoing engine read-only — any locking hole in the serve path or the
+// guard shows up under the detector.
+func TestGuardedConcurrentServeRace(t *testing.T) {
+	for _, tc := range []struct {
+		engine string
+		mix    Mix
+	}{
+		{"sqlg", Mix{Read: 40, Traverse: 20, Insert: 25, Update: 15}},
+		{"sparksee", Mix{Read: 70, Traverse: 30}},
+	} {
+		t.Run(tc.engine, func(t *testing.T) {
+			e, base := loadedEngine(t, tc.engine)
+			defer e.Close()
+			rep, err := Run(Config{
+				Engine: e, EngineName: tc.engine, Dataset: "tiny", Base: base,
+				Clients: 8, Ops: 150, Seed: 13, Mix: tc.mix,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops != 8*150 {
+				t.Fatalf("ops = %d", rep.Ops)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("%d errors: %s", rep.Errors, func() string {
+					var b bytes.Buffer
+					rep.Encode(&b)
+					return b.String()
+				}())
+			}
+		})
+	}
+}
