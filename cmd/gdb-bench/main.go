@@ -22,6 +22,9 @@
 //	-dataset-cache reuse dataset snapshot artifacts from this directory
 //	              (content-addressed; cold runs populate it, warm runs
 //	              skip generation — graphs are byte-identical either way)
+//	-lsm-dir      durable mode: open durable-capable engines (titan) over
+//	              a write-ahead log rooted in unique subdirectories of
+//	              this path; other engines still run volatile
 //	-serve-artifacts stream dataset artifacts to remote workers that
 //	              request them (default true) — a cold worker fleet
 //	              seeds itself from this scheduler instead of
@@ -73,6 +76,7 @@ type options struct {
 	genWorkers   int
 	remote       string
 	datasetCache string
+	lsmDir       string
 	serveArts    bool
 	checkpoint   string
 	resume       bool
@@ -101,6 +105,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.remote, "remote", "", "comma-separated gdb-worker addresses (host:port) adding remote grid slots")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.StringVar(&o.lsmDir, "lsm-dir", "", "durable mode: root each durable-capable engine's LSM store (WAL + recovery) in a unique subdirectory of this path")
 	fs.BoolVar(&o.serveArts, "serve-artifacts", true, "stream dataset artifacts to remote workers that request them")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "stream completed grid cells to this JSONL file")
 	fs.BoolVar(&o.resume, "resume", false, "replay a compatible -checkpoint file and run only the missing cells")
@@ -169,6 +174,7 @@ func main() {
 		CellWorkers:     o.cellWorkers,
 		Remote:          splitList(o.remote),
 		DatasetCacheDir: o.datasetCache,
+		LSMDir:          o.lsmDir,
 		ServeArtifacts:  o.serveArts,
 		CheckpointPath:  o.checkpoint,
 		Resume:          o.resume,

@@ -23,6 +23,10 @@
 //	               identical op log and report for a fixed seed/mix/rate
 //	-oplog         write the intended-operation log (JSON lines) to this file
 //	-dataset-cache reuse dataset snapshot artifacts from this directory
+//	-lsm-dir       durable mode: root the engine's LSM store (WAL + crash
+//	               recovery) at this directory — titan engines only
+//	-lsm-audit     recover the store at -lsm-dir, print recovery counters
+//	               and an integrity audit as JSON, then exit
 //	-v             print load/run progress to stderr
 //
 // Examples:
@@ -30,9 +34,12 @@
 //	gdb-serve -engine neo-1.9 -dataset mico -clients 8 -duration 5s
 //	gdb-serve -engine sqlg -rate 2000 -mix read=50,traverse=20,insert=20,update=10
 //	gdb-serve -engine sparksee -frozen-clock -ops 1000 -oplog ops.jsonl
+//	gdb-serve -engine titan-1.0 -lsm-dir walstore -mix read=20,insert=50,update=30
+//	gdb-serve -engine titan-1.0 -lsm-dir walstore -lsm-audit
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/engines"
 	"repro/internal/serve"
@@ -61,6 +69,8 @@ type options struct {
 	frozenClock  bool
 	oplog        string
 	datasetCache string
+	lsmDir       string
+	lsmAudit     bool
 	verbose      bool
 }
 
@@ -78,6 +88,8 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.frozenClock, "frozen-clock", false, "deterministic virtual-time mode (byte-identical op log and report)")
 	fs.StringVar(&o.oplog, "oplog", "", "write the intended-operation log (JSON lines) to this file")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.StringVar(&o.lsmDir, "lsm-dir", "", "durable mode: root the engine's LSM store at this directory (WAL + crash recovery; titan engines only)")
+	fs.BoolVar(&o.lsmAudit, "lsm-audit", false, "recover the store at -lsm-dir, print recovery counters and an integrity audit as JSON, and exit")
 	fs.BoolVar(&o.verbose, "v", false, "print progress to stderr")
 	return o
 }
@@ -98,6 +110,15 @@ func run(o *options) error {
 	if engines.Constructor(o.engine) == nil {
 		return fmt.Errorf("unknown engine %q (known: %s)", o.engine, strings.Join(engines.Names(), ", "))
 	}
+	if o.lsmAudit {
+		if o.lsmDir == "" {
+			return errors.New("-lsm-audit requires -lsm-dir")
+		}
+		return runAudit(o)
+	}
+	if o.lsmDir != "" && !engines.SupportsDurable(o.engine) {
+		return fmt.Errorf("-lsm-dir: engine %q has no durable mode (titan engines only)", o.engine)
+	}
 	if datasets.ByName(o.dataset) == nil {
 		return fmt.Errorf("unknown dataset %q (known: %s)", o.dataset, strings.Join(datasets.Names(), ", "))
 	}
@@ -116,9 +137,21 @@ func run(o *options) error {
 	if err != nil {
 		return err
 	}
-	e, err := engines.New(o.engine)
-	if err != nil {
-		return err
+	var e core.Engine
+	if o.lsmDir != "" {
+		de, rst, derr := engines.OpenDurable(o.engine, o.lsmDir)
+		if derr != nil {
+			return derr
+		}
+		progress("durable store at %s: replayed %d records (%d B truncated) in %v",
+			o.lsmDir, rst.Records, rst.BytesTruncated, time.Duration(rst.WallNS))
+		e = de
+	} else {
+		ve, verr := engines.New(o.engine)
+		if verr != nil {
+			return verr
+		}
+		e = ve
 	}
 	defer e.Close()
 	progress("loading %d vertices / %d edges into %s", g.NumVertices(), g.NumEdges(), o.engine)
@@ -157,6 +190,26 @@ func run(o *options) error {
 		return err
 	}
 	return rep.Encode(os.Stdout)
+}
+
+// runAudit recovers the durable store at -lsm-dir and prints the
+// recovery counters plus the integrity audit as JSON. No dataset is
+// loaded and nothing is served — this is the post-crash verification
+// half of the wal-smoke CI job.
+func runAudit(o *options) error {
+	rep, err := engines.DurableAudit(o.engine, o.lsmDir)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.AuditOk {
+		return fmt.Errorf("audit found %d problems", len(rep.Problems))
+	}
+	return nil
 }
 
 func loopName(rate float64) string {

@@ -1,11 +1,19 @@
 // Package fsyncrename enforces the publishSnapshot contract on
-// temp-file-then-rename sequences: before os.Rename publishes a file
+// temp-file-then-rename sequences: before a rename publishes a file
 // under its final name, the data must be forced to disk with an
-// error-checked (*os.File).Sync, and any pre-rename Close must have
-// its error checked. Rename-without-fsync can publish a name whose
-// bytes are lost on crash — a torn artifact that then poisons the
+// error-checked Sync, and any pre-rename Close must have its error
+// checked. Rename-without-fsync can publish a name whose bytes are
+// lost on crash — a torn artifact that then poisons the
 // content-addressed cache; an ignored Sync or Close error publishes a
 // file the kernel already told us is bad.
+//
+// Two families of publish calls are recognized. os.Rename /
+// (*os.File).Sync / (*os.File).Close are checked in every package.
+// The durability layer never touches os directly — it writes through
+// the fsim VFS seam — so inside the Default scope the fsim.FS.Rename /
+// fsim.File.Sync / fsim.File.Close interface methods count as the same
+// events (fsim itself is the substrate, not a publisher, and stays out
+// of scope).
 //
 // The analysis is per function body: a rename is satisfied by a
 // checked Sync call earlier in the same body (nested function literals
@@ -16,35 +24,54 @@ package fsyncrename
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
-// Analyzer is the fsyncrename invariant checker; it applies to every
-// package that publishes files.
-var Analyzer = &analysis.Analyzer{
-	Name: "fsyncrename",
-	Doc:  "flags os.Rename publishes without an error-checked fsync, or with ignored Sync/Close errors",
-	Run:  run,
+// Default is the scope where VFS-mediated publishes are checked in
+// addition to direct os ones: the LSM store and its write-ahead log
+// publish truncated segments through fsim.FS, and a rename there
+// without a durable prefix is exactly the torn-artifact crash the
+// fault matrix exists to catch.
+var Default = analysis.Scope{
+	"internal/lsm",
+	"internal/lsm/wal",
 }
 
-func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		// Visit every function body — declarations and literals — each
-		// as its own scope.
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					checkBody(pass, n.Body)
-				}
-			case *ast.FuncLit:
-				checkBody(pass, n.Body)
-			}
-			return true
-		})
+// Analyzer applies the rule with the Default VFS scope; the os-level
+// checks apply to every package regardless.
+var Analyzer = New(Default)
+
+// New builds a fsyncrename analyzer whose fsim-interface recognition
+// is restricted to vfsScope. The os.Rename/Sync/Close checks always
+// apply everywhere.
+func New(vfsScope analysis.Scope) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "fsyncrename",
+		Doc:  "flags rename publishes (os or fsim VFS) without an error-checked fsync, or with ignored Sync/Close errors",
 	}
-	return nil
+	a.Run = func(pass *analysis.Pass) error {
+		vfs := vfsScope.Match(pass.Pkg.Path())
+		for _, f := range pass.Files {
+			// Visit every function body — declarations and literals —
+			// each as its own scope.
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkBody(pass, n.Body, vfs)
+					}
+				case *ast.FuncLit:
+					checkBody(pass, n.Body, vfs)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
 }
 
 // fileCall is one Sync/Close/Rename event in a body, in source order.
@@ -54,9 +81,9 @@ type fileCall struct {
 }
 
 // checkBody scans one function body (excluding nested literals) and
-// reports each os.Rename that is not preceded by a checked Sync, plus
+// reports each rename that is not preceded by a checked Sync, plus
 // any ignored Sync/Close error ahead of a rename.
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, vfs bool) {
 	bare := bareCalls(body)
 
 	var syncs, closes []fileCall
@@ -71,11 +98,14 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			return
 		}
 		switch {
-		case fn.FullName() == "(*os.File).Sync":
+		case fn.FullName() == "(*os.File).Sync",
+			vfs && isFsimMethod(fn, "Sync"):
 			syncs = append(syncs, fileCall{call.Pos(), !bare[call]})
-		case fn.FullName() == "(*os.File).Close":
+		case fn.FullName() == "(*os.File).Close",
+			vfs && isFsimMethod(fn, "Close"):
 			closes = append(closes, fileCall{call.Pos(), !bare[call]})
-		case analysis.IsPkgFunc(fn, "os", "Rename"):
+		case analysis.IsPkgFunc(fn, "os", "Rename"),
+			vfs && isFsimMethod(fn, "Rename"):
 			renames = append(renames, call)
 		}
 	})
@@ -105,6 +135,22 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			}
 		}
 	}
+}
+
+// isFsimMethod reports whether fn is a method named name declared in
+// the fsim VFS package — the FS/File interface methods (and their Mem
+// and OS implementations) that mirror the os publish primitives. The
+// path is suffix-matched so analyzer testdata stubs placed under
+// .../testdata/src/internal/lsm/fsim count as the real seam.
+func isFsimMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "internal/lsm/fsim" || strings.HasSuffix(p, "/internal/lsm/fsim")
 }
 
 // bareCalls maps each call that is a bare expression statement —

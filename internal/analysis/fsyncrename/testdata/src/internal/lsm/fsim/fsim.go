@@ -1,0 +1,20 @@
+// Package fsim is a stub of the real VFS seam for the fsyncrename
+// testdata: the FS/File interfaces carry the same method names and the
+// package path ends in internal/lsm/fsim, which is all the analyzer
+// keys on. The substrate itself is out of the VFS scope, so nothing
+// here wants a diagnostic.
+package fsim
+
+// FS mirrors the publish-relevant surface of the real fsim.FS.
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+}
+
+// File mirrors the real fsim.File.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}

@@ -19,16 +19,19 @@ func (e *Engine) checkedWrite(tag byte, id core.ID) {
 
 // --- vertex CRUD ---
 
-// AddVertex implements core.Engine.
+// AddVertex implements core.Engine. The row writes plus the ID
+// allocator update form one atomic WAL unit in durable mode.
 func (e *Engine) AddVertex(props core.Props) (core.ID, error) {
-	id := core.ID(e.nextID)
-	e.nextID++
-	e.checkedWrite(tagVertexRow, id)
-	e.kv.Put(rowKey(tagVertexRow, id, colExists), nil)
-	for k, v := range props {
-		e.kv.Put(propKey(tagVertexRow, id, e.propTok(k)), encodeValue(v))
-		e.indexAdd(k, v, id)
-	}
+	var id core.ID
+	e.kv.Tx(func() {
+		id = e.allocID()
+		e.checkedWrite(tagVertexRow, id)
+		e.kv.Put(rowKey(tagVertexRow, id, colExists), nil)
+		for k, v := range props {
+			e.kv.Put(propKey(tagVertexRow, id, e.ensureProp(k)), encodeValue(v))
+			e.indexAdd(k, v, id)
+		}
+	})
 	return id, nil
 }
 
@@ -87,14 +90,16 @@ func (e *Engine) SetVertexProp(id core.ID, name string, v core.Value) error {
 	if !e.HasVertex(id) {
 		return core.ErrNotFound
 	}
-	e.checkedWrite(tagVertexRow, id)
-	if _, indexed := e.vindexes[name]; indexed {
-		if old, had := e.VertexProp(id, name); had {
-			e.indexRemove(name, old, id)
+	e.kv.Tx(func() {
+		e.checkedWrite(tagVertexRow, id)
+		if _, indexed := e.vindexes[name]; indexed {
+			if old, had := e.VertexProp(id, name); had {
+				e.indexRemove(name, old, id)
+			}
+			e.indexAdd(name, v, id)
 		}
-		e.indexAdd(name, v, id)
-	}
-	e.kv.Put(propKey(tagVertexRow, id, e.propTok(name)), encodeValue(v))
+		e.kv.Put(propKey(tagVertexRow, id, e.ensureProp(name)), encodeValue(v))
+	})
 	return nil
 }
 
@@ -148,9 +153,11 @@ func (e *Engine) RemoveVertex(id core.ID) error {
 			return true
 		})
 	}
-	for _, k := range doomed {
-		e.kv.Delete(k)
-	}
+	e.kv.Tx(func() {
+		for _, k := range doomed {
+			e.kv.Delete(k)
+		}
+	})
 	return nil
 }
 
@@ -162,16 +169,18 @@ func (e *Engine) AddEdge(src, dst core.ID, label string, props core.Props) (core
 	if !e.HasVertex(src) || !e.HasVertex(dst) {
 		return core.NoID, core.ErrNotFound
 	}
-	eid := core.ID(e.nextID)
-	e.nextID++
-	tok := e.labelTok(label)
-	e.checkedWrite(tagVertexRow, src)
-	e.kv.Put(rowKey(tagEdgeRow, eid, colExists), encodeEdgeRow(src, dst, tok))
-	e.kv.Put(edgeColKey(src, colOutEdge, tok, dst, eid), nil)
-	e.kv.Put(edgeColKey(dst, colInEdge, tok, src, eid), nil)
-	for k, v := range props {
-		e.kv.Put(propKey(tagEdgeRow, eid, e.propTok(k)), encodeValue(v))
-	}
+	var eid core.ID
+	e.kv.Tx(func() {
+		eid = e.allocID()
+		tok := e.ensureLabel(label)
+		e.checkedWrite(tagVertexRow, src)
+		e.kv.Put(rowKey(tagEdgeRow, eid, colExists), encodeEdgeRow(src, dst, tok))
+		e.kv.Put(edgeColKey(src, colOutEdge, tok, dst, eid), nil)
+		e.kv.Put(edgeColKey(dst, colInEdge, tok, src, eid), nil)
+		for k, v := range props {
+			e.kv.Put(propKey(tagEdgeRow, eid, e.ensureProp(k)), encodeValue(v))
+		}
+	})
 	return eid, nil
 }
 
@@ -240,8 +249,10 @@ func (e *Engine) SetEdgeProp(id core.ID, name string, v core.Value) error {
 	if !e.HasEdge(id) {
 		return core.ErrNotFound
 	}
-	e.checkedWrite(tagEdgeRow, id)
-	e.kv.Put(propKey(tagEdgeRow, id, e.propTok(name)), encodeValue(v))
+	e.kv.Tx(func() {
+		e.checkedWrite(tagEdgeRow, id)
+		e.kv.Put(propKey(tagEdgeRow, id, e.ensureProp(name)), encodeValue(v))
+	})
 	return nil
 }
 
@@ -264,17 +275,19 @@ func (e *Engine) RemoveEdge(id core.ID) error {
 	if !ok {
 		return core.ErrNotFound
 	}
-	e.kv.Delete(edgeColKey(src, colOutEdge, tok, dst, id))
-	e.kv.Delete(edgeColKey(dst, colInEdge, tok, src, id))
 	var doomed [][]byte
 	e.kv.ScanPrefix(rowKey(tagEdgeRow, id, colProp), func(k, _ []byte) bool {
 		doomed = append(doomed, append([]byte(nil), k...))
 		return true
 	})
-	for _, k := range doomed {
-		e.kv.Delete(k)
-	}
-	e.kv.Delete(rowKey(tagEdgeRow, id, colExists))
+	e.kv.Tx(func() {
+		e.kv.Delete(edgeColKey(src, colOutEdge, tok, dst, id))
+		e.kv.Delete(edgeColKey(dst, colInEdge, tok, src, id))
+		for _, k := range doomed {
+			e.kv.Delete(k)
+		}
+		e.kv.Delete(rowKey(tagEdgeRow, id, colExists))
+	})
 	return nil
 }
 
@@ -477,12 +490,9 @@ func (e *Engine) BuildVertexPropIndex(name string) error {
 	if _, dup := e.vindexes[name]; dup {
 		return nil
 	}
-	e.vindexes[name] = make(map[core.Value]map[core.ID]struct{})
-	it := e.Vertices()
-	for id, ok := it(); ok; id, ok = it() {
-		if v, has := e.VertexProp(id, name); has {
-			e.indexAdd(name, v, id)
-		}
+	e.rebuildIndex(name)
+	if e.kv.Durable() {
+		e.kv.Put(metaIndexKey(name), nil)
 	}
 	return nil
 }
@@ -534,6 +544,15 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 			kvPair{edgeColKey(dst, colInEdge, tok, src, eid), []byte{}})
 		for k, v := range er.Props {
 			pairs = append(pairs, kvPair{propKey(tagEdgeRow, eid, e.propTok(k)), encodeValue(v)})
+		}
+	}
+	if e.kv.Durable() {
+		// BulkLoad replaces the store's entire contents, so the meta
+		// snapshot (dictionaries, allocator, index definitions) rides in
+		// the same pair set; 'M' sorts between the 'E' and 'V' rows.
+		mk, mv := e.metaPairs()
+		for i := range mk {
+			pairs = append(pairs, kvPair{mk[i], mv[i]})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool { return string(pairs[i].k) < string(pairs[j].k) })
@@ -601,5 +620,6 @@ func (e *Engine) Stats() (flushes, compacts, runs, cacheHits, cacheMisses int) {
 	return e.kv.Stats()
 }
 
-// Close implements core.Engine.
-func (e *Engine) Close() error { return nil }
+// Close implements core.Engine. In durable mode this syncs and closes
+// the WAL; a volatile engine has nothing to release.
+func (e *Engine) Close() error { return e.kv.Close() }

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -84,6 +86,15 @@ type Config struct {
 	// fingerprint: where a graph came from never changes what a run
 	// measures.
 	DatasetCacheDir string
+	// LSMDir, when non-empty, opens every durable-capable engine (the
+	// titan configurations) over a write-ahead-logged store rooted in a
+	// unique subdirectory of this path, one per cell. Engines without a
+	// durable substrate still run volatile. Like DatasetCacheDir this is
+	// absent from the checkpoint fingerprint: durability changes where
+	// bytes live, not what a run measures — results stay comparable
+	// with volatile runs modulo the WAL's write-path cost, which is the
+	// point of measuring with it.
+	LSMDir string
 	// ServeArtifacts streams dataset snapshot artifacts to remote
 	// workers that request them over the wire, so a cold worker fleet
 	// seeds itself from this scheduler instead of regenerating every
@@ -194,6 +205,10 @@ type Runner struct {
 	// exit is called to simulate a crash for Config.CrashAfterCells;
 	// tests substitute it, production keeps os.Exit.
 	exit func(code int)
+
+	// lsmSeq numbers durable store directories under Config.LSMDir so
+	// concurrent cells never share a WAL.
+	lsmSeq atomic.Int64
 }
 
 // datasetCache generates a dataset graph (and its GraphSON raw size,
@@ -342,8 +357,18 @@ func (r *Runner) dataset(name string) *datasetCache {
 func (r *Runner) graph(name string) *core.Graph { return r.dataset(name).g }
 
 // loadInto bulk-loads a dataset into a fresh engine, measuring time.
+// With Config.LSMDir set, durable-capable engines open over a WAL in
+// a cell-unique subdirectory instead of purely in memory.
 func (r *Runner) loadInto(engine, dataset string) (core.Engine, *core.LoadResult, time.Duration, error) {
-	e, err := engines.New(engine)
+	var e core.Engine
+	var err error
+	if r.cfg.LSMDir != "" && engines.SupportsDurable(engine) {
+		dir := filepath.Join(r.cfg.LSMDir,
+			fmt.Sprintf("%s-%s-%d", engine, dataset, r.lsmSeq.Add(1)))
+		e, _, err = engines.OpenDurable(engine, dir)
+	} else {
+		e, err = engines.New(engine)
+	}
 	if err != nil {
 		return nil, nil, 0, err
 	}

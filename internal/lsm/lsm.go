@@ -17,6 +17,8 @@ import (
 	"sync"
 
 	"repro/internal/btree"
+	"repro/internal/enc"
+	"repro/internal/lsm/wal"
 )
 
 // Options configure a Store.
@@ -62,6 +64,16 @@ type Store struct {
 	flushes  int
 	compacts int
 
+	// Durable mode (see Open): every mutation is logged to the WAL
+	// before it touches the memtable, and stored values are boxed with
+	// an inline/pointer tag so large payloads can live in the value
+	// log. Volatile stores (New) leave all of this nil/false and store
+	// raw value bytes.
+	wal       *wal.Writer
+	durable   bool
+	replaying bool
+	err       error
+
 	// cacheMu guards cache, hits and miss: ScanPrefix mutates them on
 	// the read path, which concurrent readers would otherwise race on.
 	cacheMu sync.Mutex
@@ -71,9 +83,6 @@ type Store struct {
 }
 
 type kv struct{ k, v []byte }
-
-// tombstone is the memtable marker for deletion; SSTables use nil vals.
-var tombstone = []byte{}
 
 // New returns an empty store.
 func New(opts Options) *Store {
@@ -101,13 +110,45 @@ func (s *Store) invalidate(key []byte) {
 	}
 }
 
-// Put writes key→value.
+// Put writes key→value. In durable mode the record is logged (and the
+// whole operation, including any flush it triggers, commits as one
+// atomic WAL unit) before the memtable changes; a logging failure
+// poisons the store (see Err) and drops the write.
 func (s *Store) Put(key, value []byte) {
 	if value == nil {
 		value = []byte{}
 	}
+	if s.wal == nil {
+		s.applyPut(key, value)
+		return
+	}
+	if s.err != nil {
+		return
+	}
+	if err := s.wal.BeginTx(); err != nil {
+		s.err = err
+		return
+	}
+	ptr, sep, err := s.wal.AppendPut(key, value)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.applyPut(key, boxValue(value, ptr, sep))
+	if s.err != nil {
+		return
+	}
+	if err := s.wal.EndTx(); err != nil {
+		s.err = err
+	}
+}
+
+// applyPut is the raw memtable insert shared by the volatile path,
+// the durable path (boxed values) and WAL replay. It invalidates the
+// row cache — recovery must not resurrect stale cached rows.
+func (s *Store) applyPut(key, stored []byte) {
 	k := append([]byte(nil), key...)
-	v := append([]byte(nil), value...)
+	v := append([]byte(nil), stored...)
 	s.mem.Put(k, append(v, 1)) // trailing live marker
 	s.memBytes += int64(len(k) + len(v) + 1)
 	s.invalidate(key)
@@ -116,11 +157,62 @@ func (s *Store) Put(key, value []byte) {
 
 // Delete writes a tombstone for key.
 func (s *Store) Delete(key []byte) {
+	if s.wal == nil {
+		s.applyDelete(key)
+		return
+	}
+	if s.err != nil {
+		return
+	}
+	if err := s.wal.BeginTx(); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.wal.AppendDelete(key); err != nil {
+		s.err = err
+		return
+	}
+	s.applyDelete(key)
+	if s.err != nil {
+		return
+	}
+	if err := s.wal.EndTx(); err != nil {
+		s.err = err
+	}
+}
+
+func (s *Store) applyDelete(key []byte) {
 	k := append([]byte(nil), key...)
 	s.mem.Put(k, []byte{0}) // tombstone marker
 	s.memBytes += int64(len(k) + 1)
 	s.invalidate(key)
 	s.maybeFlush()
+}
+
+// Tx groups the mutations issued by fn into one atomic WAL unit:
+// recovery replays all of them or none. Engines use this to keep
+// multi-record operations (an edge row plus its two adjacency
+// columns) from being split by a crash. On a volatile store fn just
+// runs; nesting is allowed and commits with the outermost Tx.
+func (s *Store) Tx(fn func()) {
+	if s.wal == nil {
+		fn()
+		return
+	}
+	if s.err != nil {
+		return
+	}
+	if err := s.wal.BeginTx(); err != nil {
+		s.err = err
+		return
+	}
+	fn()
+	if s.err != nil {
+		return
+	}
+	if err := s.wal.EndTx(); err != nil {
+		s.err = err
+	}
 }
 
 func decodeMem(v []byte) (val []byte, tomb bool) {
@@ -135,24 +227,54 @@ func decodeMem(v []byte) (val []byte, tomb bool) {
 func (s *Store) Get(key []byte) (value []byte, ok bool) {
 	if v, found := s.mem.Get(key); found {
 		val, tomb := decodeMem(v)
-		return val, !tomb
+		if tomb {
+			return nil, false
+		}
+		return s.resolve(val), true
 	}
 	for i := len(s.runs) - 1; i >= 0; i-- {
 		if v, found := s.runs[i].get(key); found {
-			return v, v != nil
+			if v == nil {
+				return nil, false
+			}
+			return s.resolve(v), true
 		}
 	}
 	return nil, false
 }
 
 func (s *Store) maybeFlush() {
+	if s.replaying {
+		// Replay reproduces flushes exactly at logged flush marks;
+		// size-triggered flushing would depend on replay batch shape.
+		return
+	}
 	if s.memBytes >= s.opts.FlushBytes {
 		s.Flush()
 	}
 }
 
-// Flush turns the memtable into a new immutable run.
+// Flush turns the memtable into a new immutable run. In durable mode
+// the flush is logged as a mark so recovery rebuilds the same run
+// structure.
 func (s *Store) Flush() {
+	if s.mem.Len() == 0 {
+		return
+	}
+	if s.wal != nil {
+		if s.err != nil {
+			return
+		}
+		if err := s.wal.AppendFlushMark(); err != nil {
+			s.err = err
+			return
+		}
+	}
+	s.flush()
+}
+
+// flush is the in-memory flush shared with WAL replay.
+func (s *Store) flush() {
 	if s.mem.Len() == 0 {
 		return
 	}
@@ -177,13 +299,33 @@ func (s *Store) Flush() {
 	s.memBytes = 0
 	s.flushes++
 	if len(s.runs) >= s.opts.CompactAt {
-		s.Compact()
+		// Size-triggered: implied by the flush mark, not logged —
+		// replaying the flush reproduces it.
+		s.compact()
 	}
 }
 
 // Compact merges all runs into one, dropping shadowed entries and — as
-// this is a full merge — tombstones as well.
+// this is a full merge — tombstones as well. An explicit compaction is
+// logged in durable mode (flush-triggered ones are implied).
 func (s *Store) Compact() {
+	if len(s.runs) <= 1 {
+		return
+	}
+	if s.wal != nil {
+		if s.err != nil {
+			return
+		}
+		if err := s.wal.AppendCompactMark(); err != nil {
+			s.err = err
+			return
+		}
+	}
+	s.compact()
+}
+
+// compact is the in-memory merge shared with WAL replay.
+func (s *Store) compact() {
 	if len(s.runs) <= 1 {
 		return
 	}
@@ -324,16 +466,100 @@ func (s *Store) scanPrefixMerged(prefix []byte, fn func(key, value []byte) bool)
 		if tomb {
 			continue
 		}
-		if !fn(key, val) {
+		if !fn(key, s.resolve(val)) {
 			return
 		}
 	}
 }
 
+// Value boxing: durable stores prefix every stored value with a tag so
+// a memtable/SSTable slot can hold either the value itself or a
+// pointer into the value log. Volatile stores keep raw bytes.
+const (
+	valInline byte = 0
+	valPtr    byte = 1
+)
+
+func boxValue(value []byte, ptr wal.Pointer, separated bool) []byte {
+	if !separated {
+		return append([]byte{valInline}, value...)
+	}
+	b := []byte{valPtr}
+	b = enc.Uvarint(b, uint64(ptr.Off))
+	return enc.Uvarint(b, uint64(ptr.Len))
+}
+
+// resolve unboxes a stored value, reading through to the value log for
+// separated values. A value-log read error surfaces as an empty value:
+// the read path has no error channel, and the fault-injection suite
+// only reads from healthy filesystems.
+func (s *Store) resolve(stored []byte) []byte {
+	if !s.durable || len(stored) == 0 {
+		return stored
+	}
+	if stored[0] == valInline {
+		return stored[1:]
+	}
+	off, rest, ok := enc.TakeUvarint(stored[1:])
+	if !ok {
+		return []byte{}
+	}
+	n, _, ok := enc.TakeUvarint(rest)
+	if !ok || s.wal == nil {
+		return []byte{}
+	}
+	v, err := s.wal.ReadValue(wal.Pointer{Off: int64(off), Len: int64(n)})
+	if err != nil {
+		return []byte{}
+	}
+	return v
+}
+
 // BulkLoad replaces the store contents with the given pairs (sorted,
 // unique keys) as a single run — the "disable consistency checks and
-// write straight to the backend" load path.
+// write straight to the backend" load path. In durable mode the whole
+// load is logged between bulk markers and committed with one fsync;
+// recovery discards an unterminated load.
 func (s *Store) BulkLoad(keys, vals [][]byte) error {
+	if s.wal == nil {
+		return s.installBulk(keys, vals)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	for i := range keys {
+		if i > 0 && bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			return errNotSorted
+		}
+	}
+	if err := s.wal.BeginBulk(); err != nil {
+		s.err = err
+		return err
+	}
+	stored := make([][]byte, len(vals))
+	for i := range keys {
+		v := vals[i]
+		if v == nil {
+			v = []byte{}
+		}
+		ptr, sep, err := s.wal.AppendPut(keys[i], v)
+		if err != nil {
+			s.err = err
+			return err
+		}
+		stored[i] = boxValue(v, ptr, sep)
+	}
+	if err := s.wal.EndBulk(len(keys)); err != nil {
+		s.err = err
+		return err
+	}
+	return s.installBulk(keys, stored)
+}
+
+// installBulk swaps the store contents for a single pre-sorted run;
+// shared by the volatile path (raw values), the durable path (boxed
+// values) and WAL replay.
+func (s *Store) installBulk(keys, vals [][]byte) error {
 	t := &sstable{keys: keys, vals: vals}
 	for i := range keys {
 		if i > 0 && bytes.Compare(keys[i-1], keys[i]) >= 0 {
@@ -373,4 +599,33 @@ func (s *Store) Bytes() int64 {
 		n += t.bytes
 	}
 	return n
+}
+
+// Durable reports whether the store was opened with a WAL.
+func (s *Store) Durable() bool { return s.durable }
+
+// Err returns the sticky durability error: once a WAL append or fsync
+// fails, the store stops acknowledging mutations and reports why here.
+func (s *Store) Err() error { return s.err }
+
+// WALStats exposes the log position: frames written, frames made
+// durable by fsync, and group commits run. Zero on volatile stores.
+func (s *Store) WALStats() (lsn, durableLSN, syncs int64) {
+	if s.wal == nil {
+		return 0, 0, 0
+	}
+	return s.wal.LSN(), s.wal.DurableLSN(), s.wal.Syncs()
+}
+
+// Close syncs outstanding WAL records and releases the log files.
+// A volatile store's Close is a no-op.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return s.err
+	}
+	cerr := s.wal.Close()
+	if s.err != nil {
+		return s.err
+	}
+	return cerr
 }

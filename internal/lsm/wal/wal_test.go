@@ -1,0 +1,388 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/lsm/fsim"
+)
+
+func collect(t *testing.T, fsys fsim.FS, dir string, o Options) (*Writer, *ReplayStats, []Op) {
+	t.Helper()
+	var ops []Op
+	w, st, err := Replay(fsys, dir, o, func(op Op) error {
+		ops = append(ops, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return w, st, ops
+}
+
+// fakeClock is an injectable clock for the group-commit window.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestRoundTrip(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, err := Create(m, "wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sep, err := w.AppendPut([]byte("k1"), []byte("v1")); err != nil || sep {
+		t.Fatalf("put: sep=%v err=%v", sep, err)
+	}
+	if err := w.AppendDelete([]byte("k2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendFlushMark(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCompactMark(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st, ops := collect(t, m, "wal", Options{})
+	defer w2.Close()
+	if st.Records != 4 || st.Puts != 1 || st.Deletes != 1 || st.FlushMarks != 1 || st.CompactMarks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesTruncated != 0 || st.VlogBytesTruncated != 0 {
+		t.Fatalf("clean log truncated: %+v", st)
+	}
+	want := []Op{
+		{Kind: OpPut, Key: []byte("k1"), Val: []byte("v1")},
+		{Kind: OpDelete, Key: []byte("k2")},
+		{Kind: OpFlushMark},
+		{Kind: OpCompactMark},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("replayed %d ops, want %d", len(ops), len(want))
+	}
+	for i, op := range ops {
+		if op.Kind != want[i].Kind || !bytes.Equal(op.Key, want[i].Key) || !bytes.Equal(op.Val, want[i].Val) {
+			t.Fatalf("op %d = %+v, want %+v", i, op, want[i])
+		}
+	}
+	if w2.LSN() != 4 || w2.DurableLSN() != 4 {
+		t.Fatalf("resumed lsn = %d/%d, want 4/4", w2.LSN(), w2.DurableLSN())
+	}
+}
+
+func TestTornTailTruncatedNotFatal(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, _ := Create(m, "wal", Options{})
+	for i := 0; i < 5; i++ {
+		if _, _, err := w.AppendPut([]byte{byte('a' + i)}, []byte("val")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: chop the last 3 bytes of the segment, then append
+	// garbage — a partial frame followed by noise.
+	seg := "wal/wal-000001.seg"
+	data, err := m.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Create(seg)
+	if _, err := f.Write(data[:len(data)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st, ops := collect(t, m, "wal", Options{})
+	if st.Records != 4 || len(ops) != 4 {
+		t.Fatalf("replayed %d records (%d ops), want 4", st.Records, len(ops))
+	}
+	if st.BytesTruncated == 0 {
+		t.Fatalf("no truncation recorded: %+v", st)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idempotent: a second replay finds a clean log, repairs nothing.
+	w3, st2, ops2 := collect(t, m, "wal", Options{})
+	defer w3.Close()
+	if st2.Records != 4 || len(ops2) != 4 || st2.BytesTruncated != 0 {
+		t.Fatalf("second replay not idempotent: %+v", st2)
+	}
+}
+
+func TestGroupCommitBatchesAndWindow(t *testing.T) {
+	clk := &fakeClock{}
+	m := fsim.NewMem(fsim.Faults{})
+	o := Options{GroupCommitOps: 4, GroupCommitWindow: 2 * time.Millisecond, Now: clk.now}
+	w, _ := Create(m, "wal", o)
+	for i := 0; i < 3; i++ {
+		if _, _, err := w.AppendPut([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.DurableLSN() != 0 {
+		t.Fatalf("durable = %d before batch boundary", w.DurableLSN())
+	}
+	if _, _, err := w.AppendPut([]byte{9}, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() != 4 || w.Syncs() != 1 {
+		t.Fatalf("durable=%d syncs=%d after 4th record, want 4/1", w.DurableLSN(), w.Syncs())
+	}
+
+	// Window: one record, then the clock jumps past the window; the
+	// next append must force the sync.
+	if _, _, err := w.AppendPut([]byte{10}, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() != 4 {
+		t.Fatalf("durable advanced without sync trigger")
+	}
+	clk.advance(5 * time.Millisecond)
+	if _, _, err := w.AppendPut([]byte{11}, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() != 6 || w.Syncs() != 2 {
+		t.Fatalf("window sync missing: durable=%d syncs=%d", w.DurableLSN(), w.Syncs())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueSeparation(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	big := bytes.Repeat([]byte("x"), 100)
+	w, _ := Create(m, "wal", Options{ValueThreshold: 64})
+	ptr, sep, err := w.AppendPut([]byte("big"), big)
+	if err != nil || !sep {
+		t.Fatalf("big put: sep=%v err=%v", sep, err)
+	}
+	if _, sep, err = w.AppendPut([]byte("small"), []byte("v")); err != nil || sep {
+		t.Fatalf("small put separated")
+	}
+	got, err := w.ReadValue(ptr)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("ReadValue = %d bytes, %v", len(got), err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st, ops := collect(t, m, "wal", Options{ValueThreshold: 64})
+	defer w2.Close()
+	if st.Puts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !ops[0].Separated || ops[0].Ptr != ptr {
+		t.Fatalf("replayed ptr = %+v, want %+v", ops[0].Ptr, ptr)
+	}
+	if got, err := w2.ReadValue(ops[0].Ptr); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("post-replay ReadValue failed: %v", err)
+	}
+}
+
+func TestOrphanVlogTailTruncated(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, _ := Create(m, "wal", Options{ValueThreshold: 8})
+	if _, _, err := w.AppendPut([]byte("a"), bytes.Repeat([]byte("A"), 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that persisted vlog bytes whose WAL frame was
+	// lost: append garbage to the vlog.
+	f, _ := m.Append("wal/values.vlog")
+	if _, err := f.Write(bytes.Repeat([]byte{0xff}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st, _ := collect(t, m, "wal", Options{ValueThreshold: 8})
+	if st.VlogBytesTruncated != 32 {
+		t.Fatalf("VlogBytesTruncated = %d, want 32", st.VlogBytesTruncated)
+	}
+	// The surviving entry must still resolve, and the writer must
+	// append new values after the trimmed tail without overlap.
+	ptr2, sep, err := w2.AppendPut([]byte("b"), bytes.Repeat([]byte("B"), 16))
+	if err != nil || !sep {
+		t.Fatal(err)
+	}
+	if got, err := w2.ReadValue(ptr2); err != nil || !bytes.Equal(got, bytes.Repeat([]byte("B"), 16)) {
+		t.Fatalf("ReadValue after trim: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxAtomicity(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, _ := Create(m, "wal", Options{})
+	// Committed multi-record tx.
+	if err := w.BeginTx(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := w.AppendPut([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.LSN() != 0 {
+		t.Fatalf("tx frames hit the log before commit: lsn=%d", w.LSN())
+	}
+	if err := w.EndTx(); err != nil {
+		t.Fatal(err)
+	}
+	if w.LSN() != 5 { // TxBegin + 3 puts + TxEnd
+		t.Fatalf("lsn = %d after tx, want 5", w.LSN())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the log inside the tx blob: cut after the TxBegin frame
+	// plus a bit — recovery must discard the whole transaction.
+	seg := "wal/wal-000001.seg"
+	data, _ := m.ReadFile(seg)
+	f, _ := m.Create(seg)
+	if _, err := f.Write(data[:len(data)-12]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st, ops := collect(t, m, "wal", Options{})
+	defer w2.Close()
+	if len(ops) != 0 || st.Records != 0 {
+		t.Fatalf("torn tx partially replayed: %d ops, %+v", len(ops), st)
+	}
+	if st.BytesTruncated != int64(len(data)-12) {
+		t.Fatalf("BytesTruncated = %d, want %d (whole torn tx)", st.BytesTruncated, len(data)-12)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, _ := Create(m, "wal", Options{SegmentBytes: 64})
+	for i := 0; i < 20; i++ {
+		if _, _, err := w.AppendPut([]byte(fmt.Sprintf("key-%02d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := m.ReadDir("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segCount := 0
+	for _, n := range names {
+		if n != "values.vlog" {
+			segCount++
+		}
+	}
+	if segCount < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d: %v", segCount, names)
+	}
+
+	w2, st, ops := collect(t, m, "wal", Options{SegmentBytes: 64})
+	if st.Segments != segCount || len(ops) != 20 {
+		t.Fatalf("replay across segments: %d ops over %d segments (%+v)", len(ops), st.Segments, st)
+	}
+	for i, op := range ops {
+		if want := fmt.Sprintf("key-%02d", i); string(op.Key) != want {
+			t.Fatalf("op %d key = %q, want %q", i, op.Key, want)
+		}
+	}
+	// The resumed writer appends into the newest segment.
+	if _, _, err := w2.AppendPut([]byte("after"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, ops2 := collect(t, m, "wal", Options{SegmentBytes: 64})
+	if len(ops2) != 21 || st2.BytesTruncated != 0 {
+		t.Fatalf("after resume: %d ops, %+v", len(ops2), st2)
+	}
+}
+
+func TestTornBulkDiscardedWhole(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, _ := Create(m, "wal", Options{})
+	if err := w.BeginBulk(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := w.AppendPut([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No EndBulk: simulate a crash before the bulk commit.
+	if err := w.seg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.seg.Close()
+	_ = w.vlog.Close()
+
+	w2, st, ops := collect(t, m, "wal", Options{})
+	defer w2.Close()
+	if len(ops) != 0 || st.Records != 0 || st.BulkLoads != 0 {
+		t.Fatalf("unterminated bulk replayed: %d ops, %+v", len(ops), st)
+	}
+	if st.BytesTruncated == 0 {
+		t.Fatalf("bulk tail not truncated: %+v", st)
+	}
+}
+
+func TestCompletedBulkReplayed(t *testing.T) {
+	m := fsim.NewMem(fsim.Faults{})
+	w, _ := Create(m, "wal", Options{})
+	if err := w.BeginBulk(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := w.AppendPut([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.EndBulk(4); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() != w.LSN() {
+		t.Fatalf("EndBulk did not sync: %d != %d", w.DurableLSN(), w.LSN())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, st, ops := collect(t, m, "wal", Options{})
+	defer w2.Close()
+	if st.BulkLoads != 1 || st.BulkPairs != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(ops) != 6 || ops[0].Kind != OpBulkBegin || ops[5].Kind != OpBulkEnd {
+		t.Fatalf("bulk op stream = %d ops", len(ops))
+	}
+}
