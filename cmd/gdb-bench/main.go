@@ -76,6 +76,7 @@ type options struct {
 	genWorkers   int
 	remote       string
 	datasetCache string
+	mmap         bool
 	lsmDir       string
 	serveArts    bool
 	checkpoint   string
@@ -105,6 +106,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.remote, "remote", "", "comma-separated gdb-worker addresses (host:port) adding remote grid slots")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.BoolVar(&o.mmap, "mmap", false, "memory-map warm -dataset-cache artifacts instead of decoding them onto the heap (identical results)")
 	fs.StringVar(&o.lsmDir, "lsm-dir", "", "durable mode: root each durable-capable engine's LSM store (WAL + recovery) in a unique subdirectory of this path")
 	fs.BoolVar(&o.serveArts, "serve-artifacts", true, "stream dataset artifacts to remote workers that request them")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "stream completed grid cells to this JSONL file")
@@ -174,6 +176,7 @@ func main() {
 		CellWorkers:     o.cellWorkers,
 		Remote:          splitList(o.remote),
 		DatasetCacheDir: o.datasetCache,
+		Mmap:            o.mmap,
 		LSMDir:          o.lsmDir,
 		ServeArtifacts:  o.serveArts,
 		CheckpointPath:  o.checkpoint,

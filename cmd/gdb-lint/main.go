@@ -1,9 +1,11 @@
 // Command gdb-lint runs the repository's invariant analyzers
 // (internal/analysis: detmap, wallclock, seedrand, goroutinejoin,
-// fsyncrename) over the packages matching the given patterns. It is
-// the machine check behind docs/INVARIANTS.md: no map-ordered bytes in
-// encoders, no wall clock or global rand in result paths, no untracked
-// goroutines in the remote layer, no rename without fsync.
+// fsyncrename, mapalias) over the packages matching the given
+// patterns. It is the machine check behind docs/INVARIANTS.md: no
+// map-ordered bytes in encoders, no wall clock or global rand in
+// result paths, no untracked goroutines in the remote layer, no
+// rename without fsync, no mutation through slices that alias a
+// read-only memory mapping.
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ import (
 	"repro/internal/analysis/detmap"
 	"repro/internal/analysis/fsyncrename"
 	"repro/internal/analysis/goroutinejoin"
+	"repro/internal/analysis/mapalias"
 	"repro/internal/analysis/seedrand"
 	"repro/internal/analysis/wallclock"
 )
@@ -64,6 +67,7 @@ var suite = []*analysis.Analyzer{
 	seedrand.Analyzer,
 	goroutinejoin.Analyzer,
 	fsyncrename.Analyzer,
+	mapalias.Analyzer,
 }
 
 func main() {

@@ -4,38 +4,67 @@
 //
 // Usage:
 //
-//	gdb-stats [-datasets yeast,mico,...] [-scale 0.01]
+//	gdb-stats [-datasets yeast,mico,...] [-scale 0.01] [-dataset-cache DIR] [-mmap] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/datasets"
 	"repro/internal/harness"
 )
 
+// options holds every gdb-stats flag, declared through defineFlags so
+// the doc-sync test can enumerate them.
+type options struct {
+	list         string
+	scale        float64
+	datasetCache string
+	mmap         bool
+	workers      int
+}
+
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.list, "datasets", strings.Join(datasets.Names(), ","), "datasets to measure")
+	fs.Float64Var(&o.scale, "scale", 0.002, "scale factor (1.0 = paper sizes)")
+	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.BoolVar(&o.mmap, "mmap", false, "memory-map warm -dataset-cache artifacts instead of decoding them onto the heap (identical results)")
+	fs.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel analytics workers (never changes the computed statistics)")
+	return o
+}
+
 func main() {
-	var (
-		list  = flag.String("datasets", strings.Join(datasets.Names(), ","), "datasets to measure")
-		scale = flag.Float64("scale", 0.002, "scale factor (1.0 = paper sizes)")
-	)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
 
+	datasets.SetGenWorkers(o.workers)
 	res := &harness.Results{
-		Config: harness.Config{Scale: *scale},
+		Config: harness.Config{Scale: o.scale},
 		Stats:  map[string]datasets.Table3Row{},
 	}
-	for _, name := range strings.Split(*list, ",") {
+	for _, name := range strings.Split(o.list, ",") {
 		name = strings.TrimSpace(name)
-		spec := datasets.ByName(name)
-		if spec == nil {
+		if datasets.ByName(name) == nil {
 			fmt.Fprintf(os.Stderr, "gdb-stats: unknown dataset %q (known: %v)\n", name, datasets.Names())
 			os.Exit(1)
 		}
-		res.Stats[name] = datasets.Stats(spec.Generate(*scale))
+		// The analytics need only the CSR snapshot: a warm cache hit
+		// decodes (or maps) just the columnar sections, skipping graph
+		// materialization entirely.
+		c, _, err := datasets.AcquireCSR(name, o.scale, datasets.AcquireOptions{
+			CacheDir: o.datasetCache,
+			Mmap:     o.mmap,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gdb-stats: %v\n", err)
+			os.Exit(1)
+		}
+		res.Stats[name] = datasets.StatsCSR(c, o.workers)
 	}
 	harness.ReportTable3(res, os.Stdout)
 }

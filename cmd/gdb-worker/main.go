@@ -53,6 +53,7 @@ type options struct {
 	cellWorkers   int
 	genWorkers    int
 	datasetCache  string
+	mmap          bool
 	artifactFetch bool
 	optimize      bool
 	heartbeat     time.Duration
@@ -66,6 +67,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.cellWorkers, "cell-workers", 1, "parallel batch iterations per cell (non-mutating queries)")
 	fs.IntVar(&o.genWorkers, "gen-workers", runtime.NumCPU(), "parallel dataset generation workers")
 	fs.StringVar(&o.datasetCache, "dataset-cache", "", "reuse dataset snapshot artifacts from this directory (populated on miss)")
+	fs.BoolVar(&o.mmap, "mmap", false, "memory-map warm -dataset-cache artifacts instead of decoding them onto the heap (identical results)")
 	fs.BoolVar(&o.artifactFetch, "artifact-fetch", true, "fetch missing dataset artifacts from the scheduler before generating locally")
 	fs.BoolVar(&o.optimize, "optimize", true, "enable the gremlin plan optimizer for accepted runs; -optimize=false executes plans exactly as written (identical results)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", remote.DefaultHeartbeat, "liveness interval announced to schedulers")
@@ -78,7 +80,7 @@ func main() {
 	flag.Parse()
 
 	datasets.SetGenWorkers(o.genWorkers)
-	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache, FetchArtifacts: o.artifactFetch, NoOptimize: !o.optimize}
+	h := &harness.WorkerHandler{CellWorkers: o.cellWorkers, DatasetCacheDir: o.datasetCache, Mmap: o.mmap, FetchArtifacts: o.artifactFetch, NoOptimize: !o.optimize}
 	if o.verbose {
 		h.Progress = os.Stderr
 	}

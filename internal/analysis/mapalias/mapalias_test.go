@@ -1,0 +1,20 @@
+package mapalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/mapalias"
+)
+
+func TestMapaliasPositive(t *testing.T) {
+	atest.Run(t, "testdata/src/internal/datasets", mapalias.Analyzer)
+}
+
+func TestMapaliasFixtureMmapfileIsClean(t *testing.T) {
+	atest.Run(t, "testdata/src/internal/mmapfile", mapalias.Analyzer)
+}
+
+func TestMapaliasOutOfScopeIsClean(t *testing.T) {
+	atest.Run(t, "testdata/src/outofscope", mapalias.Analyzer)
+}

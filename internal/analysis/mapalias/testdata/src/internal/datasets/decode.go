@@ -1,0 +1,60 @@
+// Package datasets is mapalias analyzer testdata: mutations through
+// slices that alias a read-only mapping must be flagged; copies out of
+// the mapping, and heap-only slices, must stay clean.
+package datasets
+
+import "repro/internal/analysis/mapalias/testdata/src/internal/mmapfile"
+
+// section stands in for the real artifact section reader, which hands
+// out subslices of the mapped file.
+func section(b []byte) []byte { return b }
+
+// storeThrough writes into the mapped bytes directly and through a
+// re-slice of a reinterpreted view.
+func storeThrough(f *mmapfile.File) {
+	data := f.Data()
+	data[0] = 1 // want `write through a slice aliasing a read-only mapping`
+	arr, ok := mmapfile.Int32s(data)
+	if !ok {
+		return
+	}
+	sub := arr[1:3]
+	sub[0] = 9 // want `write through a slice aliasing a read-only mapping`
+}
+
+// grow appends to an aliased slice; a grow that fits the mapped
+// capacity writes into the file.
+func grow(f *mmapfile.File) []byte {
+	data := f.Data()
+	return append(data, 7) // want `append to a slice aliasing a read-only mapping`
+}
+
+// overwrite copies into the mapping and into a section subslice.
+func overwrite(f *mmapfile.File, src []byte) {
+	data := f.Data()
+	copy(data, src) // want `copy into a slice aliasing a read-only mapping`
+	sec := section(data)
+	copy(sec, src) // want `copy into a slice aliasing a read-only mapping`
+}
+
+// copyOut is the sanctioned pattern: materialise a heap copy, then
+// mutate that. Copying FROM the mapping is always fine.
+func copyOut(f *mmapfile.File) []byte {
+	data := f.Data()
+	cp := append([]byte(nil), data...)
+	cp[0] = 1
+	heap := make([]byte, len(data))
+	copy(heap, data)
+	heap[0] = 2
+	s := mmapfile.String(data)
+	_ = s
+	return cp
+}
+
+// sortInPlace documents a deliberate exception: the caller proved the
+// alias helper fell back to a heap copy, so mutating is safe here.
+func sortInPlace(f *mmapfile.File) {
+	arr, _ := mmapfile.Int32s(f.Data())
+	//lint:gdb-allow mapalias Int32s copied onto the heap on this path (checked by caller)
+	arr[0] = 3
+}

@@ -1,0 +1,19 @@
+// Package mmapfile is mapalias analyzer testdata: a miniature of the
+// real mmapfile API, just enough surface for the fixtures to call the
+// alias-returning functions the analyzer knows by name.
+package mmapfile
+
+// File stands in for a mapped artifact.
+type File struct {
+	data []byte
+}
+
+// Data returns the mapped bytes (an alias in the real package).
+func (f *File) Data() []byte { return f.data }
+
+// Int32s reinterprets b as an int32 slice, aliasing when it can.
+func Int32s(b []byte) ([]int32, bool) { return nil, len(b)%4 == 0 }
+
+// String aliases too, but strings are immutable — the analyzer leaves
+// it alone.
+func String(b []byte) string { return string(b) }

@@ -1,0 +1,14 @@
+// Package outofscope is mapalias analyzer testdata: the same
+// mutations as the in-scope fixture, in a package outside the
+// analyzer's scope — nothing may be reported.
+package outofscope
+
+import "repro/internal/analysis/mapalias/testdata/src/internal/mmapfile"
+
+// Mutate would be three findings if this package were in scope.
+func Mutate(f *mmapfile.File, src []byte) []byte {
+	data := f.Data()
+	data[0] = 1
+	copy(data, src)
+	return append(data, 7)
+}

@@ -27,11 +27,17 @@ type CSR struct {
 	// contents Graph.Adjacency returns, in one allocation.
 	UndAdj []int32
 	// Labels is the sorted set of distinct edge labels; LabelIx[e] is
-	// the index into Labels of edge e's label, and LabelCount[l] the
-	// number of edges carrying Labels[l].
-	Labels     []string
-	LabelIx    []int32
-	LabelCount []int32
+	// the index into Labels of edge e's label.
+	Labels  []string
+	LabelIx []int32
+	// LabelOff and LabelAdj are the per-label CSR slices: LabelAdj
+	// holds every edge index grouped by label (ascending within each
+	// label), and LabelAdj[LabelOff[l]:LabelOff[l+1]] are exactly the
+	// edges carrying Labels[l]. Label-filtered access — the
+	// EdgesByLabel/hasLabel shape — walks one slice instead of
+	// scanning and comparing all |E| labels.
+	LabelOff []int32
+	LabelAdj []int32
 	// VPropTotal and EPropTotal are the total number of vertex and edge
 	// properties — the exact statement/pair counts several engines'
 	// bulk loaders need up front.
@@ -64,6 +70,34 @@ func (c *CSR) Und(v int) []int32 { return c.UndAdj[c.UndOff[v]:c.UndOff[v+1]] }
 // LabelOf returns the label of edge e.
 func (c *CSR) LabelOf(e int) string { return c.Labels[c.LabelIx[e]] }
 
+// LabelIndex returns the index of label in the sorted Labels table,
+// and whether the label occurs at all.
+func (c *CSR) LabelIndex(label string) (int, bool) {
+	i := sort.SearchStrings(c.Labels, label)
+	if i < len(c.Labels) && c.Labels[i] == label {
+		return i, true
+	}
+	return 0, false
+}
+
+// LabelEdges returns the edge indexes carrying Labels[l], ascending —
+// a shared, read-only sub-slice of the per-label adjacency.
+func (c *CSR) LabelEdges(l int) []int32 { return c.LabelAdj[c.LabelOff[l]:c.LabelOff[l+1]] }
+
+// LabelEdgeCount returns the number of edges carrying Labels[l].
+func (c *CSR) LabelEdgeCount(l int) int { return int(c.LabelOff[l+1] - c.LabelOff[l]) }
+
+// EdgesWithLabel returns the edge indexes carrying the label,
+// ascending; nil when the label does not occur. The slice view makes
+// label-filtered traversal O(matches) instead of O(|E|).
+func (c *CSR) EdgesWithLabel(label string) []int32 {
+	l, ok := c.LabelIndex(label)
+	if !ok {
+		return nil
+	}
+	return c.LabelEdges(l)
+}
+
 // Snapshot returns the graph's CSR adjacency snapshot, building it on
 // first use. The snapshot is cached and shared: concurrent callers may
 // race to build it, but every build of the same graph produces
@@ -78,6 +112,14 @@ func (g *Graph) Snapshot() *CSR {
 	g.csr.Store(c)
 	return c
 }
+
+// AdoptSnapshot installs a pre-built CSR as the graph's cached
+// snapshot. The snapshot decoder uses it to attach the CSR it
+// reconstructed from the artifact's columnar sections, so the first
+// Snapshot call after a decode does no work. The caller asserts c
+// describes exactly this graph; a later mutation invalidates the cache
+// as usual.
+func (g *Graph) AdoptSnapshot(c *CSR) { g.csr.Store(c) }
 
 func buildCSR(g *Graph) *CSR {
 	n, m := len(g.VProps), len(g.EdgeL)
@@ -119,12 +161,11 @@ func buildCSR(g *Graph) *CSR {
 			remap[labelID[l]] = int32(newID)
 		}
 		c.Labels = sorted
-		c.LabelCount = make([]int32, len(sorted))
 		for i, old := range c.LabelIx {
 			c.LabelIx[i] = remap[old]
-			c.LabelCount[remap[old]]++
 		}
 	}
+	buildLabelSlices(c)
 
 	// Prefix sums.
 	for v := 0; v < n; v++ {
@@ -144,6 +185,28 @@ func buildCSR(g *Graph) *CSR {
 		cursor[e.Dst]++
 	}
 	return c
+}
+
+// buildLabelSlices derives LabelOff/LabelAdj from LabelIx by counting
+// sort: one counting pass, one prefix sum, one scatter. Scanning edges
+// in ascending index order keeps each label's slice ascending. Snapshot
+// decode reuses this after reconstructing LabelIx, so the slices are
+// identical whether a CSR was built from a Graph or read from disk.
+func buildLabelSlices(c *CSR) {
+	c.LabelOff = make([]int32, len(c.Labels)+1)
+	c.LabelAdj = make([]int32, len(c.LabelIx))
+	for _, l := range c.LabelIx {
+		c.LabelOff[l+1]++
+	}
+	for l := 0; l < len(c.Labels); l++ {
+		c.LabelOff[l+1] += c.LabelOff[l]
+	}
+	cursor := make([]int32, len(c.Labels))
+	copy(cursor, c.LabelOff[:len(c.Labels)])
+	for e, l := range c.LabelIx {
+		c.LabelAdj[cursor[l]] = int32(e)
+		cursor[l]++
+	}
 }
 
 // csrCache is the cached-snapshot slot embedded in Graph. It is a named

@@ -59,15 +59,30 @@ func TestSnapshotMatchesGraphMethods(t *testing.T) {
 			t.Errorf("edge %d: label %q, want %q", e, c.LabelOf(e), g.EdgeL[e].Label)
 		}
 	}
-	var wantCount []int32
-	for range c.Labels {
-		wantCount = append(wantCount, 0)
-	}
+	wantCount := make([]int, len(c.Labels))
 	for _, ix := range c.LabelIx {
 		wantCount[ix]++
 	}
-	if !reflect.DeepEqual(c.LabelCount, wantCount) {
-		t.Errorf("LabelCount %v, want %v", c.LabelCount, wantCount)
+	for l := range c.Labels {
+		if c.LabelEdgeCount(l) != wantCount[l] {
+			t.Errorf("LabelEdgeCount(%d) = %d, want %d", l, c.LabelEdgeCount(l), wantCount[l])
+		}
+		prev := int32(-1)
+		for _, e := range c.LabelEdges(l) {
+			if c.LabelIx[e] != int32(l) {
+				t.Errorf("LabelEdges(%d) contains edge %d with label %q", l, e, c.LabelOf(int(e)))
+			}
+			if e <= prev {
+				t.Errorf("LabelEdges(%d) not ascending: %d after %d", l, e, prev)
+			}
+			prev = e
+		}
+	}
+	if got := c.EdgesWithLabel("knows"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("EdgesWithLabel(knows) = %v, want [0 2]", got)
+	}
+	if got := c.EdgesWithLabel("absent"); got != nil {
+		t.Errorf("EdgesWithLabel(absent) = %v, want nil", got)
 	}
 	if c.VPropTotal != 4 || c.EPropTotal != 1 {
 		t.Errorf("prop totals %d/%d, want 4/1", c.VPropTotal, c.EPropTotal)

@@ -152,9 +152,9 @@ func buildPlanStats(c *CSR) *PlanStats {
 		E:      int64(c.NumEdges()),
 		labels: c.Labels,
 	}
-	s.labelEdges = make([]int64, len(c.LabelCount))
-	for i, n := range c.LabelCount {
-		s.labelEdges[i] = int64(n)
+	s.labelEdges = make([]int64, len(c.Labels))
+	for i := range c.Labels {
+		s.labelEdges[i] = int64(c.LabelEdgeCount(i))
 	}
 	for v := 0; v < c.NumVertices(); v++ {
 		s.degHist[DirOut][bitLen(c.OutDegree(v))]++

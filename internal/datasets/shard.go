@@ -56,15 +56,36 @@ func shardRNG(seed int64, phase uint64, s int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h)))
 }
 
+// shardCount is the number of fixed-size shards covering [0, n). It
+// depends only on n, never on the worker count — per-shard partial
+// results combined in shard order are therefore identical for any
+// parallelism, which is how the floating-point reductions in stats.go
+// stay byte-deterministic.
+func shardCount(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + shardSize - 1) / shardSize
+}
+
 // forShards partitions [0, n) into shardSize-sized shards and runs
 // fn(shard, start, end) for each on at most GenWorkers goroutines.
 // fn must write only into the [start, end) range of its outputs.
 func forShards(n int, fn func(shard, start, end int)) {
+	forShardsN(n, GenWorkers(), fn)
+}
+
+// forShardsN is forShards with an explicit worker bound (n <= 0 means
+// GenWorkers). It returns only after every shard has run, so callers
+// may read the outputs without further synchronization.
+func forShardsN(n, workers int, fn func(shard, start, end int)) {
 	if n <= 0 {
 		return
 	}
-	shards := (n + shardSize - 1) / shardSize
-	workers := GenWorkers()
+	shards := shardCount(n)
+	if workers <= 0 {
+		workers = GenWorkers()
+	}
 	if workers > shards {
 		workers = shards
 	}

@@ -2,69 +2,35 @@ package datasets
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/enc"
 	"repro/internal/graphson"
+	"repro/internal/mmapfile"
 )
 
 // This file implements the dataset artifact cache: a compact binary
-// columnar snapshot of a generated core.Graph, stored content-addressed
-// on disk so that repeated and distributed runs acquire each dataset at
-// decode speed instead of regeneration speed.
-//
-// Format (all multi-byte header fields big-endian):
-//
-//	magic   "GSNP"                          4 bytes
-//	version 1                               1 byte
-//	fp      snapshot fingerprint            32 bytes
-//	plen    payload length                  8 bytes
-//	crc     CRC-32C of the payload          4 bytes
-//	payload                                 plen bytes
-//
-// The payload is columnar and sharded, with every integer LEB128-
-// encoded (enc.Uvarint) and every string interned in one table:
-//
-//	V, E
-//	string table: count, then per string length + raw bytes
-//	vertex property section:
-//	    global sorted column-key list (count, string ids)
-//	    one block per shardSize-sized vertex range, length-prefixed:
-//	        per column a sparse (delta-encoded index, value) list,
-//	        then the range's empty-but-non-nil Props indexes
-//	edge section: one length-prefixed block per edge range:
-//	    Src column, Dst column, label-id column for the range
-//	edge property section: as for vertices, over edge indexes
-//
-// Values carry a one-byte kind tag; strings are table ids, ints are
-// zigzag varints, floats are 8 raw bytes, bools one byte.
-//
-// The shard blocks exist for the same reason generation is sharded
-// (shard.go): each block touches a disjoint vertex/edge range, so
-// decoding fans out across the dataset-generation worker pool with no
-// shared writes — on multicore hardware a warm acquire scales with
-// cores, exactly like a cold generate does. The string table is
-// decoded zero-copy: every interned string is a slice of one backing
-// string built from the payload.
+// sectioned snapshot of a generated core.Graph (format v2, see
+// snapformat.go), stored content-addressed on disk so that repeated
+// and distributed runs acquire each dataset at decode speed — or, with
+// Mmap, at section-verify speed — instead of regeneration speed.
 //
 // Decoding reconstructs the exact Graph the generator produced —
 // including the nil-versus-empty distinction of property maps — so
 // exports, checkpoints and catalog fingerprints cannot tell a cache
-// hit from a cache miss. Truncation, bit rot and identity drift are
-// all detected (length + CRC + embedded fingerprint) and reported as
-// errors; Acquire falls back to regeneration on any of them.
+// hit from a cache miss, and a mapped open from a heap one. Truncation,
+// bit rot and identity drift are all detected (size + per-section CRCs
+// + embedded fingerprint) and reported as errors; Acquire falls back to
+// regeneration on any of them — including a valid artifact in the v1
+// format, which is healed in place by the same overwrite path.
 
 // GeneratorVersion identifies the dataset generators' output, not
 // their speed: bump it whenever any generator's bytes change (new
@@ -74,26 +40,20 @@ import (
 // per-phase-RNG generation introduced in PR 2.
 const GeneratorVersion = 2
 
-const (
-	snapshotMagic   = "GSNP"
-	snapshotVersion = 1
-	// snapshotHeaderLen = magic + version + fingerprint + plen + crc.
-	snapshotHeaderLen = 4 + 1 + 32 + 8 + 4
-	// maxSnapshotPayload caps how much a header can ask ReadSnapshot to
-	// allocate — far above any real dataset, low enough that a corrupt
-	// length field cannot OOM the process.
-	maxSnapshotPayload = 1 << 40
-)
-
 // SnapshotFingerprint is the content address of a dataset artifact:
-// a digest over everything that determines the generated bytes —
-// dataset name, scale, generator seed, generator version and snapshot
-// format version. Two runs agree on the fingerprint iff they would
-// generate identical graphs.
+// a digest over everything that determines the generated graph —
+// dataset name, scale, generator seed and generator version. Two runs
+// agree on the fingerprint iff they would generate identical graphs.
+//
+// The snapshot *format* version is deliberately not part of the
+// fingerprint: the artifact path must stay stable across format bumps
+// so that Acquire finds an old-format artifact at the address it
+// looks at, rejects it by its header version byte, and heals it in
+// place through the regenerate-and-overwrite path.
 func SnapshotFingerprint(name string, scale float64, seed int64) [32]byte {
 	return sha256.Sum256([]byte(fmt.Sprintf(
-		"gdb-snapshot|format=%d|generator=%d|name=%s|scale=%s|seed=%d",
-		snapshotVersion, GeneratorVersion, name,
+		"gdb-snapshot|generator=%d|name=%s|scale=%s|seed=%d",
+		GeneratorVersion, name,
 		strconv.FormatFloat(scale, 'g', -1, 64), seed)))
 }
 
@@ -108,9 +68,24 @@ func SnapshotPath(dir, name string, fp [32]byte) string {
 // from somewhere else — in the distributed harness, from the scheduler
 // over the wire. The fetched bytes are never trusted: AcquireVia
 // re-verifies them through the snapshot format's own fingerprint and
-// CRC before serving the graph, and any error (including verification
+// CRCs before serving the graph, and any error (including verification
 // failure) falls back to local generation.
 type FetchFunc func(name string, fp [32]byte) (io.ReadCloser, error)
+
+// AcquireOptions selects how Acquire obtains and opens artifacts.
+type AcquireOptions struct {
+	// CacheDir is the artifact cache directory; empty disables caching.
+	CacheDir string
+	// Fetch, when non-nil, is a remote artifact source layered between
+	// the local cache and generation.
+	Fetch FetchFunc
+	// Mmap opens cache-hit artifacts through a shared memory mapping
+	// instead of reading them onto the heap. The decoded graph aliases
+	// the mapping (strings, CSR arrays), so mappings are process-shared
+	// and never unmapped. Results are byte-identical either way; only
+	// the open cost differs.
+	Mmap bool
+}
 
 // CacheStatus reports how Acquire obtained a graph. Err is non-fatal:
 // it records a cache problem (unreadable or invalid artifact, failed
@@ -119,6 +94,7 @@ type CacheStatus struct {
 	Hit     bool   // served from a valid local snapshot artifact
 	Fetched bool   // served from an artifact fetched via FetchFunc
 	Stored  bool   // this call wrote (or rewrote) the artifact
+	Mapped  bool   // served through a live memory mapping
 	Path    string // artifact path; empty when caching is disabled
 	Err     error  // non-fatal cache problem, already recovered from
 	// RawJSON is the graph's GraphSON byte size — the "Raw Data" bar of
@@ -150,69 +126,75 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 // Acquire returns the named dataset graph at the given scale. With a
 // non-empty cacheDir it first tries the content-addressed snapshot
 // artifact, falling back to generation — and refreshing the artifact —
-// when the artifact is missing, truncated, corrupt, or carries a
-// different fingerprint. The returned graph is identical to a freshly
-// generated one either way; only the acquisition speed differs.
+// when the artifact is missing, truncated, corrupt, in an old format,
+// or carries a different fingerprint. The returned graph is identical
+// to a freshly generated one either way; only the acquisition speed
+// differs.
 //
 // Concurrent callers are safe: artifacts are written to a private temp
 // file and published with an atomic rename, so a reader either sees a
 // complete valid artifact or none at all.
 func Acquire(name string, scale float64, cacheDir string) (*core.Graph, CacheStatus, error) {
-	return AcquireVia(name, scale, cacheDir, nil)
+	return AcquireWith(name, scale, AcquireOptions{CacheDir: cacheDir})
 }
 
 // AcquireVia is Acquire with a remote artifact source layered between
-// the local cache and generation. The fallback order is:
+// the local cache and generation.
+func AcquireVia(name string, scale float64, cacheDir string, fetch FetchFunc) (*core.Graph, CacheStatus, error) {
+	return AcquireWith(name, scale, AcquireOptions{CacheDir: cacheDir, Fetch: fetch})
+}
+
+// AcquireWith is the full-option acquire. The fallback order is:
 //
-//  1. local cache (when cacheDir is non-empty) — a valid artifact at
-//     the content address is decoded and served;
+//  1. local cache (when CacheDir is non-empty) — a valid artifact at
+//     the content address is decoded and served, through a shared
+//     memory mapping when Mmap is set;
 //  2. fetch (when non-nil) — the artifact is pulled from the source,
-//     re-verified by fingerprint and CRC on arrival, written into the
+//     re-verified by fingerprint and CRCs on arrival, written into the
 //     cache via the same temp-file+fsync+rename path a generated
-//     artifact uses (when cacheDir is non-empty), and served;
+//     artifact uses (when CacheDir is non-empty), and served;
 //  3. local generation — always succeeds; refreshes the cache.
 //
 // Every layer produces the exact same graph bytes, so a fetched graph
 // is indistinguishable from a generated one to exports, checkpoints
 // and catalog fingerprints.
-func AcquireVia(name string, scale float64, cacheDir string, fetch FetchFunc) (*core.Graph, CacheStatus, error) {
+func AcquireWith(name string, scale float64, opts AcquireOptions) (*core.Graph, CacheStatus, error) {
 	spec := ByName(name)
 	if spec == nil {
 		return nil, CacheStatus{}, fmt.Errorf("datasets: unknown dataset %q", name)
 	}
-	if cacheDir == "" && fetch == nil {
+	if opts.CacheDir == "" && opts.Fetch == nil {
 		return spec.Generate(scale), CacheStatus{RawJSON: -1}, nil
 	}
 	fp := SnapshotFingerprint(name, scale, spec.Seed)
 	st := CacheStatus{RawJSON: -1}
 
-	if cacheDir != "" {
-		st.Path = SnapshotPath(cacheDir, name, fp)
+	if opts.CacheDir != "" {
+		st.Path = SnapshotPath(opts.CacheDir, name, fp)
 		// Housekeeping: a crash between CreateTemp and Rename strands a
 		// .tmp-* file that nothing would ever remove; sweep old ones
 		// while we are looking at the directory anyway.
-		sweepStaleTemps(cacheDir)
-		if f, err := os.Open(st.Path); err == nil {
-			g, rawJSON, derr := ReadSnapshot(f, fp)
-			f.Close()
-			if derr == nil {
-				st.Hit = true
-				st.RawJSON = rawJSON
-				return g, st, nil
-			}
-			// Invalid artifact (truncated write, bit rot, foreign bytes
-			// at our path): refetch or regenerate, and rewrite it below.
+		sweepStaleTemps(opts.CacheDir)
+		g, rawJSON, mapped, derr := openArtifact(st.Path, fp, opts.Mmap, decodeGraph)
+		if derr == nil {
+			st.Hit = true
+			st.Mapped = mapped
+			st.RawJSON = rawJSON
+			return g, st, nil
+		}
+		if !errors.Is(derr, os.ErrNotExist) {
+			// Invalid artifact (truncated write, bit rot, old format,
+			// foreign bytes at our path): refetch or regenerate, and
+			// rewrite it below.
 			st.Err = fmt.Errorf("datasets: cache %s: %w (refreshed)", st.Path, derr)
-		} else if !errors.Is(err, os.ErrNotExist) {
-			st.Err = fmt.Errorf("datasets: cache %s: %w (refreshed)", st.Path, err)
 		}
 	}
 
-	if fetch != nil {
-		g, rawJSON, storeErr, ferr := fetchSnapshot(cacheDir, st.Path, name, fp, fetch)
+	if opts.Fetch != nil {
+		g, rawJSON, storeErr, ferr := fetchSnapshot(opts.CacheDir, st.Path, name, fp, opts.Fetch)
 		if ferr == nil {
 			st.Fetched = true
-			st.Stored = cacheDir != "" && storeErr == nil
+			st.Stored = opts.CacheDir != "" && storeErr == nil
 			if storeErr != nil {
 				// The fetch itself succeeded; only caching the bytes
 				// failed (read-only dir, disk full). Serve the fetched
@@ -220,17 +202,27 @@ func AcquireVia(name string, scale float64, cacheDir string, fetch FetchFunc) (*
 				st.Err = errors.Join(st.Err, fmt.Errorf("datasets: cache %s: %w (fetched, served uncached)", st.Path, storeErr))
 			}
 			st.RawJSON = rawJSON
+			if st.Stored && opts.Mmap {
+				// Land-then-map: the fetched bytes are verified and on
+				// disk now, so serve them through the shared mapping —
+				// a fetched artifact behaves exactly like a warm hit.
+				if mg, mraw, mapped, merr := openArtifact(st.Path, fp, true, decodeGraph); merr == nil {
+					st.Mapped = mapped
+					st.RawJSON = mraw
+					return mg, st, nil
+				}
+			}
 			return g, st, nil
 		}
 		st.Err = errors.Join(st.Err, fmt.Errorf("datasets: fetch %s: %w (generated locally)", name, ferr))
 	}
 
 	g := spec.Generate(scale)
-	if cacheDir == "" {
+	if opts.CacheDir == "" {
 		return g, st, nil
 	}
 	st.RawJSON = RawJSONSize(g)
-	if err := storeSnapshot(cacheDir, st.Path, g, st.RawJSON, fp); err != nil {
+	if err := storeSnapshot(opts.CacheDir, st.Path, g, st.RawJSON, fp); err != nil {
 		// The graph is good; only the artifact store failed (read-only
 		// dir, disk full). Report and carry on uncached.
 		st.Err = errors.Join(st.Err, err)
@@ -240,10 +232,128 @@ func AcquireVia(name string, scale float64, cacheDir string, fetch FetchFunc) (*
 	return g, st, nil
 }
 
+// AcquireCSR returns the dataset's CSR adjacency snapshot without
+// materializing the property graph when it can: a valid cached
+// artifact serves the CSR straight from its sections — with Mmap, the
+// arrays alias the mapping and the open cost is O(sections touched) —
+// and only a cache miss falls back to the full acquire (generating,
+// refreshing the artifact, and snapshotting the graph). Analytics
+// that work purely off the CSR (gdb-stats) get warm opens that skip
+// the property sections entirely.
+func AcquireCSR(name string, scale float64, opts AcquireOptions) (*core.CSR, CacheStatus, error) {
+	spec := ByName(name)
+	if spec == nil {
+		return nil, CacheStatus{}, fmt.Errorf("datasets: unknown dataset %q", name)
+	}
+	if opts.CacheDir != "" {
+		fp := SnapshotFingerprint(name, scale, spec.Seed)
+		path := SnapshotPath(opts.CacheDir, name, fp)
+		c, rawJSON, mapped, err := openArtifact(path, fp, opts.Mmap, decodeCSR)
+		if err == nil {
+			return c, CacheStatus{Hit: true, Mapped: mapped, Path: path, RawJSON: rawJSON}, nil
+		}
+	}
+	g, st, err := AcquireWith(name, scale, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return g.Snapshot(), st, nil
+}
+
+// openArtifact opens and decodes one cached artifact, mapped or from
+// the heap, through a caller-chosen section decoder. The mapped flag
+// reports whether the returned value aliases a live mapping.
+func openArtifact[T any](path string, fp [32]byte, mapped bool, decode func(*artifactView) (T, int64, error)) (T, int64, bool, error) {
+	var zero T
+	if mapped {
+		f, err := openShared(path, fp)
+		if err != nil {
+			return zero, 0, false, err
+		}
+		v, err := parseArtifact(f.Data(), fp)
+		if err != nil {
+			return zero, 0, false, err
+		}
+		out, rawJSON, err := decode(v)
+		if err != nil {
+			// The header verified but a section is bad: drop the path
+			// from the registry so a healed (rewritten) artifact is
+			// re-mapped instead of served stale.
+			dropShared(path)
+			return zero, 0, false, err
+		}
+		return out, rawJSON, f.Mapped(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return zero, 0, false, err
+	}
+	v, err := parseArtifact(data, fp)
+	if err != nil {
+		return zero, 0, false, err
+	}
+	out, rawJSON, err := decode(v)
+	return out, rawJSON, false, err
+}
+
+// sharedMaps is the process-global registry of artifact mappings,
+// keyed by path. A mapping is registered once its header and directory
+// verify, and is never unmapped afterwards: decoded graphs alias the
+// region (strings, CSR arrays), so the mapping must outlive every
+// graph served from it — and content addressing makes reuse sound,
+// since a valid artifact at one path can only ever be replaced by an
+// identical one. Losing a registration race leaks at most one extra
+// mapping; nothing is ever unmapped while aliases can exist.
+var sharedMaps = struct {
+	sync.Mutex
+	files map[string]*mmapfile.File
+}{files: make(map[string]*mmapfile.File)}
+
+// openShared returns the process-shared read-only view of path,
+// mapping (or heap-reading, on platforms without mmap) it on first
+// use. The artifact's header and directory are verified against fp
+// before the view is registered.
+func openShared(path string, fp [32]byte) (*mmapfile.File, error) {
+	sharedMaps.Lock()
+	f := sharedMaps.files[path]
+	sharedMaps.Unlock()
+	if f != nil {
+		return f, nil
+	}
+	f, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := parseArtifact(f.Data(), fp); err != nil {
+		// Nothing aliased the view yet; safe to release it.
+		f.Close()
+		return nil, err
+	}
+	sharedMaps.Lock()
+	defer sharedMaps.Unlock()
+	if prev := sharedMaps.files[path]; prev != nil {
+		// Lost the race. Our view has no escaped aliases (only the
+		// header check above read it), so it can be released.
+		f.Close()
+		return prev, nil
+	}
+	sharedMaps.files[path] = f
+	return f, nil
+}
+
+// dropShared forgets the mapping registered for path, so the next open
+// re-reads the file. The mapping itself is deliberately leaked: decode
+// work may have aliased it before failing.
+func dropShared(path string) {
+	sharedMaps.Lock()
+	delete(sharedMaps.files, path)
+	sharedMaps.Unlock()
+}
+
 // fetchSnapshot pulls one artifact from the remote source. With a
 // cache dir the bytes land in a private temp file first and are
 // re-verified — magic, embedded fingerprint against the expected
-// content address, payload length, CRC — before the atomic rename
+// content address, file size, CRCs — before the atomic rename
 // publishes them, exactly like a locally generated artifact; without
 // one they are verified and decoded straight off the stream. Either
 // way a corrupted or mismatched transfer is an error (err), never a
@@ -389,531 +499,26 @@ func storeSnapshot(dir, path string, g *core.Graph, rawJSON int64, fp [32]byte) 
 // Encoding is deterministic: the same graph always produces the same
 // bytes.
 func WriteSnapshot(w io.Writer, g *core.Graph, rawJSON int64, fp [32]byte) error {
-	payload := encodeSnapshot(g, rawJSON)
-	hdr := make([]byte, 0, snapshotHeaderLen)
-	hdr = append(hdr, snapshotMagic...)
-	hdr = append(hdr, snapshotVersion)
-	hdr = append(hdr, fp[:]...)
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
-	hdr = binary.BigEndian.AppendUint32(hdr, crc32.Checksum(payload, crcTable))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	_, err := w.Write(encodeSnapshot(g, rawJSON, fp))
 	return err
 }
 
-// ReadSnapshot decodes a snapshot artifact, verifying in order: magic
-// and version, the embedded fingerprint against want (identity — a
-// changed scale, seed or generator version must never be served),
-// payload length (truncation), and the payload CRC (corruption). It
-// returns the graph and the GraphSON size the artifact carries.
+// ReadSnapshot decodes a snapshot artifact from a stream, with the
+// same verification chain openArtifact applies to files: magic,
+// version, embedded fingerprint against want, claimed size against
+// the bytes read, directory and per-section CRCs. It returns the
+// graph and the GraphSON size the artifact carries.
 func ReadSnapshot(r io.Reader, want [32]byte) (*core.Graph, int64, error) {
-	hdr := make([]byte, snapshotHeaderLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, 0, fmt.Errorf("snapshot truncated: %w", err)
-	}
-	if string(hdr[:4]) != snapshotMagic {
-		return nil, 0, errors.New("not a dataset snapshot (bad magic)")
-	}
-	if hdr[4] != snapshotVersion {
-		return nil, 0, fmt.Errorf("snapshot format v%d, want v%d", hdr[4], snapshotVersion)
-	}
-	var got [32]byte
-	copy(got[:], hdr[5:37])
-	if got != want {
-		return nil, 0, fmt.Errorf("snapshot fingerprint mismatch (artifact %x…, want %x…): dataset name, scale, seed or generator version differ", got[:6], want[:6])
-	}
-	plen := binary.BigEndian.Uint64(hdr[37:45])
-	if plen > maxSnapshotPayload {
-		return nil, 0, fmt.Errorf("snapshot payload length %d implausible", plen)
-	}
-	// The length field is outside the CRC, so it must never size an
-	// allocation: read through a limiter with geometric growth, and a
-	// corrupted (oversized) plen costs at most ~2x the real file size
-	// before the length check fails.
-	payload, err := io.ReadAll(io.LimitReader(r, int64(plen)))
+	// A corrupted size field must never OOM the process: read through
+	// a limiter; parseArtifact then compares the claimed size against
+	// what actually arrived.
+	data, err := io.ReadAll(io.LimitReader(r, maxSnapshotFile))
 	if err != nil {
 		return nil, 0, fmt.Errorf("snapshot truncated: %w", err)
 	}
-	if uint64(len(payload)) != plen {
-		return nil, 0, fmt.Errorf("snapshot truncated: %d of %d payload bytes", len(payload), plen)
-	}
-	if crc := crc32.Checksum(payload, crcTable); crc != binary.BigEndian.Uint32(hdr[45:49]) {
-		return nil, 0, errors.New("snapshot payload CRC mismatch")
-	}
-	return decodeSnapshot(payload)
-}
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// --- encoding ---
-
-// stringTable interns strings during encoding.
-type stringTable struct {
-	ids  map[string]uint64
-	list []string
-}
-
-func (t *stringTable) id(s string) uint64 {
-	if id, ok := t.ids[s]; ok {
-		return id
-	}
-	id := uint64(len(t.list))
-	t.ids[s] = id
-	t.list = append(t.list, s)
-	return id
-}
-
-// snapShards returns the number of shard blocks covering n objects —
-// the same arithmetic forShards uses (shard.go), so parallel decode
-// reuses the generation worker pool with matching ranges.
-func snapShards(n int) int {
-	if n <= 0 {
-		return 0
-	}
-	return (n + shardSize - 1) / shardSize
-}
-
-// Value kind tags of the snapshot encoding (distinct from enc's
-// order-preserving tags: snapshots optimize for density, not order).
-const (
-	snapNil    = 0
-	snapString = 1
-	snapInt    = 2
-	snapFloat  = 3
-	snapBool   = 4
-)
-
-func appendValue(b []byte, v core.Value, strs *stringTable) []byte {
-	switch v.Kind() {
-	case core.KindString:
-		b = append(b, snapString)
-		return enc.Uvarint(b, strs.id(v.Str()))
-	case core.KindInt:
-		b = append(b, snapInt)
-		return enc.Uvarint(b, enc.Zigzag(v.Int()))
-	case core.KindFloat:
-		b = append(b, snapFloat)
-		return binary.BigEndian.AppendUint64(b, math.Float64bits(v.Float()))
-	case core.KindBool:
-		if v.Bool() {
-			return append(b, snapBool, 1)
-		}
-		return append(b, snapBool, 0)
-	default:
-		return append(b, snapNil)
-	}
-}
-
-func sortedPropKeys(count int, props func(int) core.Props) []string {
-	seen := make(map[string]bool)
-	var keys []string
-	for i := 0; i < count; i++ {
-		for k := range props(i) {
-			if !seen[k] {
-				seen[k] = true
-				keys = append(keys, k)
-			}
-		}
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func encodeSnapshot(g *core.Graph, rawJSON int64) []byte {
-	n, m := g.NumVertices(), g.NumEdges()
-	strs := &stringTable{ids: make(map[string]uint64)}
-
-	// Body sections are encoded first so the string table — which they
-	// populate — can be written ahead of them in the final payload.
-	encodeProps := func(body []byte, count int, props func(int) core.Props) []byte {
-		keys := sortedPropKeys(count, props)
-		body = enc.Uvarint(body, uint64(len(keys)))
-		for _, k := range keys {
-			body = enc.Uvarint(body, strs.id(k))
-		}
-		for lo := 0; lo < count; lo += shardSize {
-			hi := lo + shardSize
-			if hi > count {
-				hi = count
-			}
-			var blk []byte
-			for _, k := range keys {
-				cnt := 0
-				for i := lo; i < hi; i++ {
-					if _, ok := props(i)[k]; ok {
-						cnt++
-					}
-				}
-				blk = enc.Uvarint(blk, uint64(cnt))
-				prev := lo
-				for i := lo; i < hi; i++ {
-					if v, ok := props(i)[k]; ok {
-						blk = enc.Uvarint(blk, uint64(i-prev))
-						prev = i
-						blk = appendValue(blk, v, strs)
-					}
-				}
-			}
-			cnt := 0
-			for i := lo; i < hi; i++ {
-				if p := props(i); p != nil && len(p) == 0 {
-					cnt++
-				}
-			}
-			blk = enc.Uvarint(blk, uint64(cnt))
-			prev := lo
-			for i := lo; i < hi; i++ {
-				if p := props(i); p != nil && len(p) == 0 {
-					blk = enc.Uvarint(blk, uint64(i-prev))
-					prev = i
-				}
-			}
-			body = enc.Uvarint(body, uint64(len(blk)))
-			body = append(body, blk...)
-		}
-		return body
-	}
-
-	var body []byte
-	body = encodeProps(body, n, func(i int) core.Props { return g.VProps[i] })
-	for lo := 0; lo < m; lo += shardSize {
-		hi := lo + shardSize
-		if hi > m {
-			hi = m
-		}
-		var blk []byte
-		for i := lo; i < hi; i++ {
-			blk = enc.Uvarint(blk, uint64(g.EdgeL[i].Src))
-		}
-		for i := lo; i < hi; i++ {
-			blk = enc.Uvarint(blk, uint64(g.EdgeL[i].Dst))
-		}
-		for i := lo; i < hi; i++ {
-			blk = enc.Uvarint(blk, strs.id(g.EdgeL[i].Label))
-		}
-		body = enc.Uvarint(body, uint64(len(blk)))
-		body = append(body, blk...)
-	}
-	body = encodeProps(body, m, func(i int) core.Props { return g.EdgeL[i].Props })
-
-	var out []byte
-	out = enc.Uvarint(out, uint64(rawJSON))
-	out = enc.Uvarint(out, uint64(n))
-	out = enc.Uvarint(out, uint64(m))
-	out = enc.Uvarint(out, uint64(len(strs.list)))
-	for _, s := range strs.list {
-		out = enc.Uvarint(out, uint64(len(s)))
-		out = append(out, s...)
-	}
-	return append(out, body...)
-}
-
-// --- decoding ---
-
-// snapReader is a bounds-checked cursor over a snapshot payload; the
-// first malformed read poisons it, so callers check err once at the
-// end of a section instead of at every field.
-type snapReader struct {
-	b   []byte
-	err error
-}
-
-var errSnapMalformed = errors.New("snapshot payload malformed")
-
-func (r *snapReader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	x, rest, ok := enc.TakeUvarint(r.b)
-	if !ok {
-		r.err = errSnapMalformed
-		return 0
-	}
-	r.b = rest
-	return x
-}
-
-// count reads a length field that at most max items can follow.
-func (r *snapReader) count(max int) int {
-	x := r.uvarint()
-	if r.err == nil && x > uint64(max) {
-		r.err = errSnapMalformed
-		return 0
-	}
-	return int(x)
-}
-
-func (r *snapReader) bytes(n int) []byte {
-	if r.err != nil {
-		return nil
-	}
-	if n < 0 || n > len(r.b) {
-		r.err = errSnapMalformed
-		return nil
-	}
-	b := r.b[:n]
-	r.b = r.b[n:]
-	return b
-}
-
-// cutBlocks slices the length-prefixed shard blocks of one section.
-func (r *snapReader) cutBlocks(count int) [][]byte {
-	blocks := make([][]byte, snapShards(count))
-	for s := range blocks {
-		blocks[s] = r.bytes(r.count(len(r.b)))
-	}
-	return blocks
-}
-
-// parseValue decodes one tagged value from the front of b. ok is
-// false on malformed or truncated input. It is a plain cursor with no
-// per-call error-field traffic, which matters in the per-entry loop.
-func parseValue(b []byte, strs []string) (core.Value, []byte, bool) {
-	if len(b) == 0 {
-		return core.Nil, b, false
-	}
-	tag := b[0]
-	b = b[1:]
-	switch tag {
-	case snapNil:
-		return core.Nil, b, true
-	case snapString:
-		id, sz := binary.Uvarint(b)
-		if sz <= 0 || id >= uint64(len(strs)) {
-			return core.Nil, b, false
-		}
-		return core.S(strs[id]), b[sz:], true
-	case snapInt:
-		x, sz := binary.Uvarint(b)
-		if sz <= 0 {
-			return core.Nil, b, false
-		}
-		return core.I(enc.Unzigzag(x)), b[sz:], true
-	case snapFloat:
-		if len(b) < 8 {
-			return core.Nil, b, false
-		}
-		return core.F(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], true
-	case snapBool:
-		if len(b) < 1 {
-			return core.Nil, b, false
-		}
-		return core.B(b[0] != 0), b[1:], true
-	default:
-		return core.Nil, b, false
-	}
-}
-
-// decodePropBlock fills the [lo, hi) range of one property table from
-// its shard block. get/set access the table (vertex or edge Props);
-// maps are created lazily on the first key that lands on an index, so
-// indexes without entries stay nil.
-func decodePropBlock(blk []byte, keys, strs []string, lo, hi int, get func(int) core.Props, set func(int, core.Props)) error {
-	b := blk
-	for _, k := range keys {
-		nent, sz := binary.Uvarint(b)
-		if sz <= 0 || nent > uint64(hi-lo) {
-			return errSnapMalformed
-		}
-		b = b[sz:]
-		idx := lo
-		for e := uint64(0); e < nent; e++ {
-			d, sz := binary.Uvarint(b)
-			// Validate the delta before the int conversion: a huge
-			// uvarint must surface as a malformed artifact, never as a
-			// wrapped-negative index.
-			if sz <= 0 || d >= uint64(hi-lo) {
-				return errSnapMalformed
-			}
-			b = b[sz:]
-			idx += int(d)
-			if idx >= hi {
-				return errSnapMalformed
-			}
-			v, rest, ok := parseValue(b, strs)
-			if !ok {
-				return errSnapMalformed
-			}
-			b = rest
-			p := get(idx)
-			if p == nil {
-				p = make(core.Props)
-				set(idx, p)
-			}
-			p[k] = v
-		}
-	}
-	nemp, sz := binary.Uvarint(b)
-	if sz <= 0 || nemp > uint64(hi-lo) {
-		return errSnapMalformed
-	}
-	b = b[sz:]
-	idx := lo
-	for e := uint64(0); e < nemp; e++ {
-		d, sz := binary.Uvarint(b)
-		if sz <= 0 || d >= uint64(hi-lo) {
-			return errSnapMalformed
-		}
-		b = b[sz:]
-		idx += int(d)
-		if idx >= hi || get(idx) != nil {
-			return errSnapMalformed // out of range, or empty-marked index also has entries
-		}
-		set(idx, core.Props{})
-	}
-	if len(b) != 0 {
-		return errSnapMalformed
-	}
-	return nil
-}
-
-// decodeEdgeBlock fills EdgeL[lo:hi] from one edge shard block.
-func decodeEdgeBlock(blk []byte, strs []string, n, lo, hi int, edges []core.EdgeRec) error {
-	b := blk
-	for i := lo; i < hi; i++ {
-		x, sz := binary.Uvarint(b)
-		if sz <= 0 || x >= uint64(n) {
-			return errSnapMalformed
-		}
-		b = b[sz:]
-		edges[i].Src = int(x)
-	}
-	for i := lo; i < hi; i++ {
-		x, sz := binary.Uvarint(b)
-		if sz <= 0 || x >= uint64(n) {
-			return errSnapMalformed
-		}
-		b = b[sz:]
-		edges[i].Dst = int(x)
-	}
-	for i := lo; i < hi; i++ {
-		x, sz := binary.Uvarint(b)
-		if sz <= 0 || x >= uint64(len(strs)) {
-			return errSnapMalformed
-		}
-		b = b[sz:]
-		edges[i].Label = strs[x]
-	}
-	if len(b) != 0 {
-		return errSnapMalformed
-	}
-	return nil
-}
-
-// firstErr folds per-shard decode errors.
-func firstErr(errs []error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
-}
-
-func decodeSnapshot(payload []byte) (*core.Graph, int64, error) {
-	r := &snapReader{b: payload}
-	rawJSON := int64(r.uvarint())
-	// The vertex/edge counts size the big allocations below, so bound
-	// them by what the payload could possibly carry: every started
-	// shard block costs at least its one length-prefix byte, so a
-	// payload of P bytes cannot describe more than P*shardSize objects.
-	// A tiny corrupt-but-CRC-valid file therefore fails here instead of
-	// attempting a multi-gigabyte allocation.
-	maxObjects := len(r.b) * shardSize
-	if maxObjects > 1<<35 {
-		maxObjects = 1 << 35
-	}
-	n := r.count(maxObjects)
-	m := r.count(maxObjects)
-
-	// String table, zero-copy: all interned strings are sub-slices of
-	// one backing string covering the table region, so decoding costs
-	// one allocation instead of one per string.
-	nstr := r.count(len(r.b))
-	type span struct{ off, n int }
-	spans := make([]span, nstr)
-	region := r.b
-	for i := range spans {
-		l := r.count(len(r.b))
-		off := len(region) - len(r.b)
-		r.bytes(l)
-		spans[i] = span{off, l}
-	}
-	if r.err != nil {
-		return nil, 0, r.err
-	}
-	backing := string(region[:len(region)-len(r.b)])
-	strs := make([]string, nstr)
-	for i, sp := range spans {
-		strs[i] = backing[sp.off : sp.off+sp.n]
-	}
-
-	g := &core.Graph{}
-	if n > 0 {
-		g.VProps = make([]core.Props, n)
-	}
-	if m > 0 {
-		g.EdgeL = make([]core.EdgeRec, m)
-	}
-
-	// decodeProps reads one property section: the global column-key
-	// list, then the shard blocks, decoded in parallel on the
-	// generation worker pool — every block writes a disjoint range.
-	decodeProps := func(count int, get func(int) core.Props, set func(int, core.Props)) {
-		ncols := r.count(len(r.b))
-		keys := make([]string, ncols)
-		for i := range keys {
-			id := r.uvarint()
-			if r.err == nil && id >= uint64(len(strs)) {
-				r.err = errSnapMalformed
-			}
-			if r.err != nil {
-				return
-			}
-			keys[i] = strs[id]
-		}
-		blocks := r.cutBlocks(count)
-		if r.err != nil {
-			return
-		}
-		errs := make([]error, len(blocks))
-		forShards(count, func(shard, lo, hi int) {
-			errs[shard] = decodePropBlock(blocks[shard], keys, strs, lo, hi, get, set)
-		})
-		if err := firstErr(errs); err != nil && r.err == nil {
-			r.err = err
-		}
-	}
-
-	decodeProps(n,
-		func(i int) core.Props { return g.VProps[i] },
-		func(i int, p core.Props) { g.VProps[i] = p })
-	if r.err != nil {
-		return nil, 0, r.err
-	}
-
-	eblocks := r.cutBlocks(m)
-	if r.err != nil {
-		return nil, 0, r.err
-	}
-	errs := make([]error, len(eblocks))
-	forShards(m, func(shard, lo, hi int) {
-		errs[shard] = decodeEdgeBlock(eblocks[shard], strs, n, lo, hi, g.EdgeL)
-	})
-	if err := firstErr(errs); err != nil {
+	v, err := parseArtifact(data, want)
+	if err != nil {
 		return nil, 0, err
 	}
-
-	decodeProps(m,
-		func(i int) core.Props { return g.EdgeL[i].Props },
-		func(i int, p core.Props) { g.EdgeL[i].Props = p })
-	if r.err != nil {
-		return nil, 0, r.err
-	}
-	if len(r.b) != 0 {
-		return nil, 0, errSnapMalformed
-	}
-	return g, rawJSON, nil
+	return decodeGraph(v)
 }

@@ -291,16 +291,78 @@ func TestAcquireConcurrentReaders(t *testing.T) {
 	}
 }
 
-// buildArtifact frames an arbitrary payload as a snapshot artifact
-// with a valid header (magic, version, fingerprint, length, CRC) —
-// for adversarial decoder tests: everything outer validation accepts,
-// with a payload only the decoder can judge.
-func buildArtifact(payload []byte, fp [32]byte) []byte {
+// testSection is one section body for buildArtifact.
+type testSection struct {
+	id   uint32
+	body []byte
+}
+
+// buildArtifact frames arbitrary section bodies as a v2 artifact with
+// a valid header and directory (magic, version, fingerprint, size,
+// alignment, directory and per-section CRCs) — for adversarial decoder
+// tests: everything outer validation accepts, with contents only the
+// decoder can judge.
+func buildArtifact(fp [32]byte, secs []testSection) []byte {
+	dirEnd := snapshotHeaderLen + len(secs)*sectionEntryLen
+	off := align8(dirEnd + 4)
+	offs := make([]int, len(secs))
+	for i, s := range secs {
+		offs[i] = off
+		off = align8(off + len(s.body))
+	}
+	fileSize := dirEnd + 4
+	if len(secs) > 0 {
+		fileSize = offs[len(secs)-1] + len(secs[len(secs)-1].body)
+	}
 	out := append([]byte(snapshotMagic), snapshotVersion)
 	out = append(out, fp[:]...)
-	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
-	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
-	return append(out, payload...)
+	out = binary.BigEndian.AppendUint64(out, uint64(fileSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(secs)))
+	for i, s := range secs {
+		out = binary.BigEndian.AppendUint32(out, s.id)
+		out = binary.BigEndian.AppendUint64(out, uint64(offs[i]))
+		out = binary.BigEndian.AppendUint64(out, uint64(len(s.body)))
+		out = binary.BigEndian.AppendUint32(out, crc32.Checksum(s.body, crcTable))
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+	for i, s := range secs {
+		for len(out) < offs[i] {
+			out = append(out, 0)
+		}
+		out = append(out, s.body...)
+	}
+	return out
+}
+
+// edgelessSections builds the full section set of a graph with n
+// vertices, no edges and no labels, with caller-supplied strtab and
+// property section bodies — the minimal scaffold for poisoning one
+// section at a time.
+func edgelessSections(n int, strtab, vprops, eprops []byte) []testSection {
+	zeros := make([]int32, n+1)
+	var meta []byte
+	meta = enc.Uvarint(meta, 0)         // rawJSON
+	meta = enc.Uvarint(meta, uint64(n)) // V
+	meta = enc.Uvarint(meta, 0)         // E
+	meta = enc.Uvarint(meta, 0)         // labels
+	meta = enc.Uvarint(meta, 0)         // VPropTotal
+	meta = enc.Uvarint(meta, 0)         // EPropTotal
+	return []testSection{
+		{secMeta, meta},
+		{secLabels, enc.Uvarint(nil, 0)},
+		{secOutOff, encodeInt32s(zeros)},
+		{secInOff, encodeInt32s(zeros)},
+		{secUndOff, encodeInt32s(zeros)},
+		{secUndAdj, nil},
+		{secLabelIx, nil},
+		{secLabelOff, encodeInt32s([]int32{0})},
+		{secLabelAdj, nil},
+		{secEdgeSrc, nil},
+		{secEdgeDst, nil},
+		{secStrTab, strtab},
+		{secVProps, vprops},
+		{secEProps, eprops},
+	}
 }
 
 // TestSnapshotMalformedDeltaDoesNotPanic: a CRC-valid artifact whose
@@ -309,72 +371,168 @@ func buildArtifact(payload []byte, fp [32]byte) []byte {
 // slice index and a process panic.
 func TestSnapshotMalformedDeltaDoesNotPanic(t *testing.T) {
 	var fp [32]byte
-	var p []byte
-	p = enc.Uvarint(p, 0) // rawJSON
-	p = enc.Uvarint(p, 2) // V
-	p = enc.Uvarint(p, 0) // E
-	p = enc.Uvarint(p, 1) // one string
-	p = enc.Uvarint(p, 1)
-	p = append(p, 'k')
-	// vertex prop section: 1 column (key id 0), one shard block.
-	p = enc.Uvarint(p, 1)
-	p = enc.Uvarint(p, 0)
+	var strtab []byte
+	strtab = enc.Uvarint(strtab, 1) // one string, "k"
+	strtab = enc.Uvarint(strtab, 1)
+	strtab = append(strtab, 'k')
+	// Vertex prop section: 1 column (key id 0), one shard block.
+	var vprops []byte
+	vprops = enc.Uvarint(vprops, 1)
+	vprops = enc.Uvarint(vprops, 0)
 	var blk []byte
 	blk = enc.Uvarint(blk, 1)     // one entry
 	blk = enc.Uvarint(blk, 1<<63) // poisoned delta
 	blk = append(blk, snapNil)    // value
 	blk = enc.Uvarint(blk, 0)     // no empties
-	p = enc.Uvarint(p, uint64(len(blk)))
-	p = append(p, blk...)
-	// no edge blocks (E=0); edge prop section: 0 columns.
-	p = enc.Uvarint(p, 0)
+	vprops = enc.Uvarint(vprops, uint64(len(blk)))
+	vprops = append(vprops, blk...)
+	eprops := enc.Uvarint(nil, 0) // 0 columns, no blocks (E=0)
 
-	if _, _, err := ReadSnapshot(bytes.NewReader(buildArtifact(p, fp)), fp); err == nil {
+	raw := buildArtifact(fp, edgelessSections(2, strtab, vprops, eprops))
+	if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
 		t.Fatal("poisoned delta decoded without error")
 	}
 
 	// Same poison in the empty-props list.
-	p = p[:0]
-	p = enc.Uvarint(p, 0) // rawJSON
-	p = enc.Uvarint(p, 2) // V
-	p = enc.Uvarint(p, 0) // E
-	p = enc.Uvarint(p, 0) // no strings
-	p = enc.Uvarint(p, 0) // 0 columns
+	vprops = enc.Uvarint(nil, 0) // 0 columns
 	blk = blk[:0]
 	blk = enc.Uvarint(blk, 1)     // one empty marker
 	blk = enc.Uvarint(blk, 1<<63) // poisoned delta
-	p = enc.Uvarint(p, uint64(len(blk)))
-	p = append(p, blk...)
-	p = enc.Uvarint(p, 0) // edge prop section: 0 columns
-	if _, _, err := ReadSnapshot(bytes.NewReader(buildArtifact(p, fp)), fp); err == nil {
+	vprops = enc.Uvarint(vprops, uint64(len(blk)))
+	vprops = append(vprops, blk...)
+	raw = buildArtifact(fp, edgelessSections(2, enc.Uvarint(nil, 0), vprops, eprops))
+	if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
 		t.Fatal("poisoned empty-list delta decoded without error")
 	}
 }
 
 // TestSnapshotHugeCountsRejectedCheaply: a tiny CRC-valid artifact
 // declaring astronomically many vertices must be rejected by the
-// payload-proportional bound before any large allocation; and a
-// corrupted (oversized) header length field — the one field outside
-// the CRC — must fail on short read, not size an allocation.
+// size-proportional bound — and then by the exact section-length
+// checks — before any large allocation; and a corrupted (oversized)
+// file size field must fail against the actual byte count, not size
+// an allocation.
 func TestSnapshotHugeCountsRejectedCheaply(t *testing.T) {
 	var fp [32]byte
-	var p []byte
-	p = enc.Uvarint(p, 0)     // rawJSON
-	p = enc.Uvarint(p, 1<<34) // absurd V for a payload this small
-	p = enc.Uvarint(p, 0)
-	if _, _, err := ReadSnapshot(bytes.NewReader(buildArtifact(p, fp)), fp); err == nil {
+	var meta []byte
+	meta = enc.Uvarint(meta, 0)     // rawJSON
+	meta = enc.Uvarint(meta, 1<<34) // absurd V for a file this small
+	meta = enc.Uvarint(meta, 0)
+	meta = enc.Uvarint(meta, 0)
+	meta = enc.Uvarint(meta, 0)
+	meta = enc.Uvarint(meta, 0)
+	raw := buildArtifact(fp, []testSection{{secMeta, meta}})
+	if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
 		t.Fatal("absurd vertex count accepted")
 	}
 
-	// Oversized plen: flip the length field way up on a real artifact.
+	// Oversized file size: flip the size field way up on a real
+	// artifact.
 	g := Yeast(snapTestScale)
 	var buf bytes.Buffer
 	if err := WriteSnapshot(&buf, g, 0, fp); err != nil {
 		t.Fatal(err)
 	}
-	raw := buf.Bytes()
+	raw = buf.Bytes()
 	binary.BigEndian.PutUint64(raw[37:45], 1<<39)
 	if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
-		t.Fatal("oversized length field accepted")
+		t.Fatal("oversized size field accepted")
+	}
+
+	// A corrupted directory entry must fail the directory CRC.
+	buf.Reset()
+	if err := WriteSnapshot(&buf, g, 0, fp); err != nil {
+		t.Fatal(err)
+	}
+	raw = buf.Bytes()
+	raw[snapshotHeaderLen+2] ^= 0x01
+	if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
+		t.Fatal("corrupt directory accepted")
+	}
+}
+
+// TestSnapshotInconsistentSectionsRejected: CRC-valid artifacts whose
+// sections contradict each other (adjacency out of range, prefix sums
+// that do not reach the edge count) must be rejected by the CSR
+// validation pass, never served.
+func TestSnapshotInconsistentSectionsRejected(t *testing.T) {
+	var fp [32]byte
+	strtab := enc.Uvarint(nil, 0)
+	poke := func(name string, mutate func(secs []testSection)) {
+		// A 2-vertex edgeless graph needs a 1-byte empty shard block in
+		// vprops/eprops (0 columns, 0 empties) to decode cleanly.
+		blk := enc.Uvarint(nil, 0)
+		props := enc.Uvarint(nil, 0)
+		props = enc.Uvarint(props, uint64(len(blk)))
+		props = append(props, blk...)
+		secs := edgelessSections(2, strtab, props, props)
+		mutate(secs)
+		raw := buildArtifact(fp, secs)
+		if _, _, err := ReadSnapshot(bytes.NewReader(raw), fp); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	poke("non-monotonic prefix sum", func(secs []testSection) {
+		secs[2].body = encodeInt32s([]int32{0, 1, 0}) // OutOff dips
+	})
+	poke("prefix sum missing edge total", func(secs []testSection) {
+		secs[2].body = encodeInt32s([]int32{0, 1, 1}) // claims an edge, E=0
+	})
+	poke("ragged int32 section", func(secs []testSection) {
+		secs[5].body = []byte{1, 2, 3} // UndAdj length must be 4×count
+	})
+
+	// Out-of-range adjacency entries in an otherwise consistent
+	// one-edge graph (0→1 "knows").
+	oneEdge := func(mutate func(secs []testSection)) []byte {
+		blk := enc.Uvarint(nil, 0) // 0 empties
+		props := enc.Uvarint(nil, 0)
+		props = enc.Uvarint(props, uint64(len(blk)))
+		props = append(props, blk...)
+		var meta []byte
+		meta = enc.Uvarint(meta, 0) // rawJSON
+		meta = enc.Uvarint(meta, 2) // V
+		meta = enc.Uvarint(meta, 1) // E
+		meta = enc.Uvarint(meta, 1) // labels
+		meta = enc.Uvarint(meta, 0) // VPropTotal
+		meta = enc.Uvarint(meta, 0) // EPropTotal
+		var labels []byte
+		labels = enc.Uvarint(labels, 1)
+		labels = enc.Uvarint(labels, 5)
+		labels = append(labels, "knows"...)
+		secs := []testSection{
+			{secMeta, meta},
+			{secLabels, labels},
+			{secOutOff, encodeInt32s([]int32{0, 1, 1})},
+			{secInOff, encodeInt32s([]int32{0, 0, 1})},
+			{secUndOff, encodeInt32s([]int32{0, 1, 2})},
+			{secUndAdj, encodeInt32s([]int32{1, 0})},
+			{secLabelIx, encodeInt32s([]int32{0})},
+			{secLabelOff, encodeInt32s([]int32{0, 1})},
+			{secLabelAdj, encodeInt32s([]int32{0})},
+			{secEdgeSrc, encodeInt32s([]int32{0})},
+			{secEdgeDst, encodeInt32s([]int32{1})},
+			{secStrTab, enc.Uvarint(nil, 0)},
+			{secVProps, props},
+			{secEProps, props},
+		}
+		mutate(secs)
+		return buildArtifact(fp, secs)
+	}
+	g, _, err := ReadSnapshot(bytes.NewReader(oneEdge(func([]testSection) {})), fp)
+	if err != nil {
+		t.Fatalf("consistent one-edge artifact rejected: %v", err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 || g.EdgeL[0].Label != "knows" {
+		t.Fatalf("one-edge artifact decoded wrong: %+v", g.EdgeL)
+	}
+	for name, mutate := range map[string]func([]testSection){
+		"undirected adjacency out of range": func(secs []testSection) { secs[5].body = encodeInt32s([]int32{5, 0}) },
+		"label index out of range":          func(secs []testSection) { secs[6].body = encodeInt32s([]int32{7}) },
+		"edge endpoint out of range":        func(secs []testSection) { secs[10].body = encodeInt32s([]int32{9}) },
+	} {
+		if _, _, err := ReadSnapshot(bytes.NewReader(oneEdge(mutate)), fp); err == nil {
+			t.Errorf("%s accepted", name)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package datasets
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 )
 
@@ -10,61 +12,129 @@ import (
 // component partition, degree statistics, and a double-sweep BFS
 // estimate of the largest component's diameter.
 //
-// It works off the graph's shared CSR snapshot (core.Graph.Snapshot):
-// labels, degrees and the undirected adjacency are read from the
-// one-time snapshot instead of being rebuilt per call, and the BFS
-// uses a flat distance array — the per-call Adjacency()/Labels()
-// allocations of the original implementation are gone.
-func Stats(g *core.Graph) Table3Row {
-	n := g.NumVertices()
-	m := g.NumEdges()
-	snap := g.Snapshot()
-	row := Table3Row{V: n, E: m, L: len(snap.Labels)}
+// It works off the graph's shared CSR snapshot (core.Graph.Snapshot)
+// and runs the sweeps on GenWorkers goroutines; see StatsCSR for the
+// determinism contract.
+func Stats(g *core.Graph) Table3Row { return StatsCSR(g.Snapshot(), 0) }
+
+// StatsCSR computes the Table 3 row purely from a CSR snapshot — it
+// never touches the owning graph, so it also serves snapshots decoded
+// straight from a cache artifact (AcquireCSR). workers bounds the
+// goroutines; workers <= 0 means GenWorkers.
+//
+// The row is byte-identical for every worker count, including one:
+// integer reductions (component count, sizes, degree sums, maxima)
+// are order-free; the floating-point modularity sum combines fixed
+// shardSize partials in shard order; and every selection (largest
+// component, farthest BFS vertex) tie-breaks on the smallest vertex
+// index. Union-find roots are canonical too — a root only ever links
+// to a smaller root, so each component's root is its minimum vertex
+// regardless of execution order.
+func StatsCSR(c *core.CSR, workers int) Table3Row {
+	n := c.NumVertices()
+	m := c.NumEdges()
+	row := Table3Row{V: n, E: m, L: len(c.Labels)}
 	if n == 0 {
 		return row
 	}
 
-	// Union-find over undirected edges.
+	// Components: lock-free union-find over the undirected adjacency.
+	// Each undirected edge is processed once (by its smaller endpoint's
+	// shard); links always point from the larger root to the smaller.
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = int32(i)
 	}
-	var find func(int32) int32
-	find = func(x int32) int32 {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]] // path halving
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int32) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
+	find := func(x int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[x])
+			if p == x {
+				return x
+			}
+			if gp := atomic.LoadInt32(&parent[p]); gp != p {
+				atomic.CompareAndSwapInt32(&parent[x], p, gp) // path halving
+			}
+			x = p
 		}
 	}
-	for i := range g.EdgeL {
-		union(int32(g.EdgeL[i].Src), int32(g.EdgeL[i].Dst))
+	forShardsN(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for _, w := range c.Und(v) {
+				if int(w) <= v {
+					continue
+				}
+				a, b := int32(v), w
+				for {
+					ra, rb := find(a), find(b)
+					if ra == rb {
+						break
+					}
+					if ra > rb {
+						ra, rb = rb, ra
+					}
+					if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+						break
+					}
+				}
+			}
+		}
+	})
+	// Full compression: after this barrier parent[v] is the canonical
+	// root and can be read without atomics.
+	forShardsN(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			atomic.StoreInt32(&parent[v], find(int32(v)))
+		}
+	})
+
+	// Component sizes and degree sums, indexed by root. Integer atomic
+	// adds commute, so the totals are exact for any schedule.
+	size := make([]int32, n)
+	deg := make([]int64, n)
+	forShardsN(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			r := parent[v]
+			atomic.AddInt32(&size[r], 1)
+			atomic.AddInt64(&deg[r], int64(c.Degree(v)))
+		}
+	})
+
+	// Component count, largest component, max degree: per-shard bests
+	// merged in shard order with strict comparisons, so ties resolve to
+	// the smallest root/vertex.
+	nsh := shardCount(n)
+	type shardBest struct {
+		comps            int
+		maxSize, maxRoot int32
+		maxDeg           int32
 	}
-	compSize := make(map[int32]int)
-	compEdges := make(map[int32]int)
-	compDeg := make(map[int32]int)
-	for i := 0; i < n; i++ {
-		compSize[find(int32(i))]++
-	}
-	for i := range g.EdgeL {
-		c := find(int32(g.EdgeL[i].Src))
-		compEdges[c]++
-		compDeg[c] += 2
-	}
-	row.Components = len(compSize)
-	var maxComp int32
-	for c, s := range compSize {
-		if s > compSize[maxComp] || row.MaxComp == 0 {
-			maxComp = c
-			row.MaxComp = s
+	bests := make([]shardBest, nsh)
+	forShardsN(n, workers, func(s, lo, hi int) {
+		p := shardBest{maxRoot: -1}
+		for v := lo; v < hi; v++ {
+			if int(parent[v]) == v {
+				p.comps++
+				if size[v] > p.maxSize {
+					p.maxSize, p.maxRoot = size[v], int32(v)
+				}
+			}
+			if d := int32(c.Degree(v)); d > p.maxDeg {
+				p.maxDeg = d
+			}
+		}
+		bests[s] = p
+	})
+	maxRoot, maxSize := int32(-1), int32(0)
+	for _, p := range bests {
+		row.Components += p.comps
+		if int(p.maxDeg) > row.MaxDeg {
+			row.MaxDeg = int(p.maxDeg)
+		}
+		if p.maxRoot >= 0 && (maxRoot < 0 || p.maxSize > maxSize) {
+			maxSize, maxRoot = p.maxSize, p.maxRoot
 		}
 	}
+	row.MaxComp = int(maxSize)
 
 	// Density of the directed graph.
 	if n > 1 {
@@ -75,72 +145,122 @@ func Stats(g *core.Graph) Table3Row {
 	// Q = Σ_c [ e_c/m − (d_c/2m)² ]. With components as communities,
 	// Σ e_c = m, so Q = 1 − Σ (d_c/2m)² — zero for a single component,
 	// approaching 1 for many comparable fragments; this reproduces the
-	// shape of the paper's modularity column.
+	// shape of the paper's modularity column. The float sum runs over
+	// fixed shard partials in shard order (roots ascending within each),
+	// never over a schedule-dependent order.
 	if m > 0 {
+		qpart := make([]float64, nsh)
+		forShardsN(n, workers, func(s, lo, hi int) {
+			sum := 0.0
+			for v := lo; v < hi; v++ {
+				if int(parent[v]) == v {
+					frac := float64(deg[v]) / float64(2*m)
+					sum += frac * frac
+				}
+			}
+			qpart[s] = sum
+		})
 		sum := 0.0
-		for _, d := range compDeg {
-			frac := float64(d) / float64(2*m)
-			sum += frac * frac
+		for _, q := range qpart {
+			sum += q
 		}
 		row.Modularity = 1 - sum
 	}
 
-	// Degrees (undirected, as in Table 3's Avg = 2|E|/|V|).
-	for v := 0; v < n; v++ {
-		if d := snap.Degree(v); d > row.MaxDeg {
-			row.MaxDeg = d
-		}
-	}
 	row.AvgDeg = 2 * float64(m) / float64(n)
 
-	// Diameter estimate: double-sweep BFS on the largest component
-	// (exact diameters are infeasible at these sizes; the double sweep
-	// is a standard tight lower bound).
+	// Diameter estimate: double-sweep BFS on the largest component,
+	// seeded at its root — which, being the component's minimum vertex,
+	// is the same seed the sequential scan used to find (exact
+	// diameters are infeasible at these sizes; the double sweep is a
+	// standard tight lower bound). Both sweeps share one distance array
+	// and one frontier buffer pair.
 	if m > 0 {
-		var seed int
-		for i := 0; i < n; i++ {
-			if find(int32(i)) == maxComp {
-				seed = i
-				break
-			}
-		}
-		far, _ := bfsFarthest(snap, seed)
-		far2, dist := bfsFarthest(snap, far)
-		_ = far2
+		b := newBFSState(n)
+		far, _ := b.farthest(c, int(maxRoot), workers)
+		_, dist := b.farthest(c, far, workers)
 		row.Diameter = dist
 	}
 	return row
 }
 
-// bfsFarthest returns the vertex farthest from start and its distance,
-// walking the CSR snapshot's undirected adjacency with a flat distance
-// array.
-func bfsFarthest(snap *core.CSR, start int) (int, int) {
-	dist := make([]int32, snap.NumVertices())
-	for i := range dist {
-		dist[i] = -1
+// bfsState holds the buffers of a BFS sweep so the double sweep (and
+// any further sweeps) reuses one allocation set instead of paying it
+// per call.
+type bfsState struct {
+	dist     []int32
+	frontier []int32
+	next     []int32
+	buckets  [][]int32 // per-shard discovery lists, pooled across levels
+}
+
+func newBFSState(n int) *bfsState {
+	return &bfsState{dist: make([]int32, n)}
+}
+
+// farthest runs a level-synchronous parallel BFS over the undirected
+// adjacency from start and returns the farthest vertex plus its
+// distance. Distances are exact (a vertex is claimed for level d by a
+// CompareAndSwap that only ever fires at its true BFS depth), so the
+// result — max distance, tie-broken to the smallest vertex index — is
+// deterministic for any worker count even though the frontier
+// permutation is not.
+func (b *bfsState) farthest(c *core.CSR, start, workers int) (int, int) {
+	n := c.NumVertices()
+	forShardsN(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b.dist[i] = -1
+		}
+	})
+	b.dist[start] = 0
+	b.frontier = append(b.frontier[:0], int32(start))
+
+	for level := int32(1); len(b.frontier) > 0; level++ {
+		fsh := shardCount(len(b.frontier))
+		for len(b.buckets) < fsh {
+			b.buckets = append(b.buckets, nil)
+		}
+		forShardsN(len(b.frontier), workers, func(s, lo, hi int) {
+			out := b.buckets[s][:0]
+			for _, v := range b.frontier[lo:hi] {
+				for _, w := range c.Und(int(v)) {
+					if atomic.LoadInt32(&b.dist[w]) >= 0 {
+						continue
+					}
+					if atomic.CompareAndSwapInt32(&b.dist[w], -1, level) {
+						out = append(out, w)
+					}
+				}
+			}
+			b.buckets[s] = out
+		})
+		b.next = b.next[:0]
+		for s := 0; s < fsh; s++ {
+			b.next = append(b.next, b.buckets[s]...)
+		}
+		b.frontier, b.next = b.next, b.frontier
 	}
-	dist[start] = 0
-	frontier := []int32{int32(start)}
-	farNode, farDist := int32(start), int32(0)
-	for len(frontier) > 0 {
-		var next []int32
-		for _, v := range frontier {
-			d := dist[v] + 1
-			for _, w := range snap.Und(int(v)) {
-				if dist[w] >= 0 {
-					continue
-				}
-				dist[w] = d
-				if d > farDist {
-					farNode, farDist = w, d
-				}
-				next = append(next, w)
+
+	// Deterministic farthest reduce: per-shard (max dist, min vertex)
+	// merged in shard order.
+	type farBest struct{ v, d int32 }
+	bests := make([]farBest, shardCount(n))
+	forShardsN(n, workers, func(s, lo, hi int) {
+		best := farBest{int32(lo), -1}
+		for v := lo; v < hi; v++ {
+			if d := b.dist[v]; d > best.d {
+				best = farBest{int32(v), d}
 			}
 		}
-		frontier = next
+		bests[s] = best
+	})
+	far := farBest{int32(start), 0}
+	for _, p := range bests {
+		if p.d > far.d {
+			far = p
+		}
 	}
-	return int(farNode), int(farDist)
+	return int(far.v), int(far.d)
 }
 
 // PickRandom draws deterministic benchmark parameters from a dataset

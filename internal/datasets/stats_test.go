@@ -1,0 +1,96 @@
+package datasets
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randomTestGraph builds a deterministic pseudo-random multigraph:
+// enough structure (many components, skewed degrees, parallel and self
+// edges) to exercise every reduction in StatsCSR.
+func randomTestGraph(seed int64, n, m int) *core.Graph {
+	g := core.NewGraph(n, m)
+	rng := newSplitMix(seed)
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		g.AddVertex(nil)
+	}
+	for i := 0; i < m; i++ {
+		// Bias endpoints into the low range for skew and fragmentation.
+		src := int(rng.next() % uint64(n))
+		dst := int(rng.next() % uint64(n/2+1))
+		g.AddEdge(src, dst, labels[rng.next()%uint64(len(labels))], nil)
+	}
+	return g
+}
+
+// TestStatsParallelMatchesSequential is the determinism contract of
+// the parallel analytics: StatsCSR must produce a byte-identical
+// Table3Row for every worker count — three seeded random graphs and
+// two catalog datasets, sequential versus 4 and 16 workers.
+func TestStatsParallelMatchesSequential(t *testing.T) {
+	snaps := map[string]*core.CSR{}
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomTestGraph(seed, 2000, 5000)
+		snaps[string(rune('a'+seed))] = g.Snapshot()
+	}
+	for _, name := range []string{"yeast", "mico"} {
+		snaps[name] = ByName(name).Generate(snapTestScale).Snapshot()
+	}
+	for name, c := range snaps {
+		seq := StatsCSR(c, 1)
+		for _, workers := range []int{4, 16} {
+			if par := StatsCSR(c, workers); !reflect.DeepEqual(par, seq) {
+				t.Errorf("%s: StatsCSR(%d workers) = %+v\n  sequential %+v", name, workers, par, seq)
+			}
+		}
+	}
+}
+
+// TestStatsKnownValues pins the analytics on graphs small enough to
+// verify by hand.
+func TestStatsKnownValues(t *testing.T) {
+	// Path 0-1-2-3 plus isolated vertex 4.
+	g := core.NewGraph(5, 3)
+	for i := 0; i < 5; i++ {
+		g.AddVertex(nil)
+	}
+	g.AddEdge(0, 1, "e", nil)
+	g.AddEdge(1, 2, "e", nil)
+	g.AddEdge(2, 3, "e", nil)
+	row := Stats(g)
+	if row.Components != 2 || row.MaxComp != 4 || row.Diameter != 3 || row.MaxDeg != 2 {
+		t.Errorf("path graph: %+v", row)
+	}
+
+	// Two same-size components: the largest-component tie must break to
+	// the one containing the smallest vertex, so the diameter seed is
+	// deterministic. Component {0,3} and {1,2} both have 2 vertices.
+	g2 := core.NewGraph(4, 2)
+	for i := 0; i < 4; i++ {
+		g2.AddVertex(nil)
+	}
+	g2.AddEdge(3, 0, "e", nil)
+	g2.AddEdge(1, 2, "e", nil)
+	row2 := Stats(g2)
+	if row2.Components != 2 || row2.MaxComp != 2 || row2.Diameter != 1 {
+		t.Errorf("tied components: %+v", row2)
+	}
+
+	// Self-loop only: one vertex at distance 0 from itself.
+	g3 := core.NewGraph(2, 1)
+	g3.AddVertex(nil)
+	g3.AddVertex(nil)
+	g3.AddEdge(0, 0, "self", nil)
+	row3 := Stats(g3)
+	if row3.Components != 2 || row3.Diameter != 0 {
+		t.Errorf("self-loop graph: %+v", row3)
+	}
+
+	// Empty graph.
+	if row := Stats(core.NewGraph(0, 0)); row.V != 0 || row.Components != 0 {
+		t.Errorf("empty graph: %+v", row)
+	}
+}

@@ -440,6 +440,12 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		e.edgeIdx = make(map[core.ID]edgeEntry, g.NumEdges())
 		e.outIdx = make(map[core.ID][]core.ID, g.NumVertices())
 		e.inIdx = make(map[core.ID][]core.ID, g.NumVertices())
+		// The snapshot's label table is exactly the token set this load
+		// interns; tokens still assign in first-encounter order.
+		if len(e.labels) == 0 {
+			e.labelID = make(map[string]uint32, len(snap.Labels))
+			e.labels = make([]string, 0, len(snap.Labels))
+		}
 	}
 	for i := range g.VProps {
 		id := core.ID(e.nextID)

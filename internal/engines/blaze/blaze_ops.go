@@ -436,6 +436,11 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 	// vertex, three reification triples per edge, one per property.
 	snap := g.Snapshot()
 	sts := make([]statement, 0, g.NumVertices()+3*g.NumEdges()+snap.VPropTotal+snap.EPropTotal)
+	// The label predicates alone put len(snap.Labels) terms in the
+	// dictionary; pre-size an untouched one to at least that.
+	if len(e.preds) == 0 {
+		e.preds = make(map[string]int64, len(snap.Labels))
+	}
 	for i := range g.VProps {
 		v := mkTerm(tagVertex, e.nextV)
 		e.nextV++

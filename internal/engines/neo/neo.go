@@ -89,6 +89,16 @@ type tokens struct {
 
 func newTokens() *tokens { return &tokens{byName: make(map[string]uint32)} }
 
+// reserve pre-sizes an empty token store for n names; a store that has
+// already interned anything is left alone (IDs are first-encounter).
+func (t *tokens) reserve(n int) {
+	if n <= 0 || len(t.names) > 0 {
+		return
+	}
+	t.byName = make(map[string]uint32, n)
+	t.names = make([]string, 0, n)
+}
+
 func (t *tokens) get(name string) uint32 {
 	if id, ok := t.byName[name]; ok {
 		return id

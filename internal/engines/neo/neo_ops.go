@@ -709,6 +709,9 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 	e.nodes.Reserve(int64(g.NumVertices()))
 	e.rels.Reserve(int64(g.NumEdges()))
 	e.props.Reserve(int64(snap.VPropTotal + snap.EPropTotal))
+	// The snapshot's label table is exactly the relationship-type token
+	// set this load will intern.
+	e.labels.reserve(len(snap.Labels))
 	for i := range g.VProps {
 		res.VertexIDs[i] = e.addVertexDirect(g.VProps[i])
 	}

@@ -511,6 +511,18 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		oo += od
 		io += id
 	}
+	// Create each label's cluster up front (first-encounter order, which
+	// fixes the cluster-id part of the edge RIDs) and reserve its
+	// position map to the exact row count from the snapshot's per-label
+	// slices, so the edge loop below never regrows a map.
+	for i := range g.EdgeL {
+		e.clusterFor(g.EdgeL[i].Label)
+	}
+	for ci, label := range e.labels {
+		if li, ok := snap.LabelIndex(label); ok {
+			e.eclusters[ci].pmap.Reserve(int64(snap.LabelEdgeCount(li)))
+		}
+	}
 	for i := range g.EdgeL {
 		er := &g.EdgeL[i]
 		cid := e.clusterFor(er.Label)

@@ -210,6 +210,13 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 		e.srcOf = make(map[uint64]uint64, g.NumEdges())
 		e.dstOf = make(map[uint64]uint64, g.NumEdges())
 		e.labelOf = make(map[uint64]uint32, g.NumEdges())
+		// The snapshot's label table is exactly the label-bitmap set this
+		// load creates; tokens still assign in first-encounter order.
+		if len(e.labels) == 0 {
+			e.labelID = make(map[string]uint32, len(snap.Labels))
+			e.byLabel = make(map[uint32]*bitmap.Bitmap, len(snap.Labels))
+			e.labels = make([]string, 0, len(snap.Labels))
+		}
 		var nOut, nIn int
 		for v, n := 0, g.NumVertices(); v < n; v++ {
 			if snap.OutDegree(v) > 0 {

@@ -454,11 +454,11 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 	}
 	// Every label's table now exists (created above, in first-encounter
 	// order, which fixes the table-id part of the edge IDs); reserve
-	// each to its exact row count from the CSR snapshot.
+	// each to its exact row count from the snapshot's per-label slices.
 	snap := g.Snapshot()
 	for li, label := range snap.Labels {
 		t, _ := e.edgeTable(label)
-		t.Reserve(int(snap.LabelCount[li]))
+		t.Reserve(snap.LabelEdgeCount(li))
 	}
 	for i := range g.EdgeL {
 		er := &g.EdgeL[i]

@@ -522,6 +522,13 @@ func (e *Engine) BulkLoad(g *core.Graph) (*core.LoadResult, error) {
 	// one row per property.
 	snap := g.Snapshot()
 	pairs := make([]kvPair, 0, g.NumVertices()+3*g.NumEdges()+snap.VPropTotal+snap.EPropTotal)
+	// Fresh engine (nextID == 0 above): the snapshot's label table is
+	// exactly the token set this load interns, so pre-size the
+	// dictionary. Tokens still assign in first-encounter order.
+	if len(e.labels) == 0 {
+		e.labelID = make(map[string]uint32, len(snap.Labels))
+		e.labels = make([]string, 0, len(snap.Labels))
+	}
 	for i := range g.VProps {
 		id := core.ID(e.nextID)
 		e.nextID++

@@ -61,6 +61,17 @@ func TestDatasetCacheWarmRunByteIdentical(t *testing.T) {
 	if !bytes.Equal(cold, warm) {
 		t.Fatal("warm run export diverges from cold run")
 	}
+
+	// Mmap is the same contract once more: a mapped warm run must be
+	// byte-identical to the heap-decode runs (and to the uncached one).
+	cfg.Mmap = true
+	mapped, mappedLog := exportRunProgress(t, cfg)
+	if strings.Contains(mappedLog, "generated") {
+		t.Fatalf("mapped warm run regenerated a dataset:\n%s", mappedLog)
+	}
+	if !bytes.Equal(cold, mapped) {
+		t.Fatal("mapped warm run export diverges from heap-decode run")
+	}
 }
 
 // TestWorkerHandlerDatasetCache: a gdb-worker pointed at a cache

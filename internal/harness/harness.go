@@ -86,6 +86,14 @@ type Config struct {
 	// fingerprint: where a graph came from never changes what a run
 	// measures.
 	DatasetCacheDir string
+	// Mmap memory-maps warm snapshot artifacts instead of reading and
+	// decoding them onto the heap: the CSR's columnar arrays alias the
+	// mapped file (see internal/mmapfile), so a warm open touches only
+	// the pages it needs. Graphs served either way are byte-identical —
+	// like DatasetCacheDir, Mmap is deliberately absent from the
+	// checkpoint fingerprint. No-op without a cache hit, and on
+	// platforms without mmap it degrades to the heap path.
+	Mmap bool
 	// LSMDir, when non-empty, opens every durable-capable engine (the
 	// titan configurations) over a write-ahead-logged store rooted in a
 	// unique subdirectory of this path, one per cell. Engines without a
@@ -321,7 +329,11 @@ func (r *Runner) dataset(name string) *datasetCache {
 	}
 	r.mu.Unlock()
 	c.once.Do(func() {
-		g, st, err := datasets.AcquireVia(name, r.cfg.Scale, r.cfg.DatasetCacheDir, r.datasetFetcher())
+		g, st, err := datasets.AcquireWith(name, r.cfg.Scale, datasets.AcquireOptions{
+			CacheDir: r.cfg.DatasetCacheDir,
+			Fetch:    r.datasetFetcher(),
+			Mmap:     r.cfg.Mmap,
+		})
 		if err != nil {
 			// NewRunner validated every dataset name up front.
 			panic(err)

@@ -203,11 +203,11 @@ func ComplexFor(g *core.Graph, seed int64, res *core.LoadResult) workload.Comple
 	}
 	// A person with friends: prefer one that has outgoing knows edges.
 	person := pick("person", 0)
+	// The snapshot's per-label slice walks exactly the knows edges
+	// instead of scanning and comparing all |E| labels.
 	outKnows := map[int]int{}
-	for i := range g.EdgeL {
-		if g.EdgeL[i].Label == "knows" {
-			outKnows[g.EdgeL[i].Src]++
-		}
+	for _, ei := range g.Snapshot().EdgesWithLabel("knows") {
+		outKnows[g.EdgeL[ei].Src]++
 	}
 	best := person
 	for _, v := range byKind["person"] {

@@ -69,6 +69,11 @@ type WorkerHandler struct {
 	// changes results — cached graphs are byte-identical to generated
 	// ones — so it stays the worker's own business.
 	DatasetCacheDir string
+	// Mmap memory-maps warm artifacts in DatasetCacheDir instead of
+	// decoding them onto this worker's heap (Config.Mmap). Like the
+	// cache directory itself, it is the worker's own business: mapped
+	// and heap-decoded graphs are byte-identical.
+	Mmap bool
 	// FetchArtifacts lets accepted runs pull missing dataset artifacts
 	// from their scheduler over the session connection before falling
 	// back to local generation — the cold-fleet seeding path (gdb-worker
@@ -120,6 +125,7 @@ func (h *WorkerHandler) Accept(hello remote.Hello, artifacts remote.ArtifactFetc
 		cfg := configFromFingerprint(fp)
 		cfg.CellWorkers = h.CellWorkers
 		cfg.DatasetCacheDir = h.DatasetCacheDir
+		cfg.Mmap = h.Mmap
 		cfg.NoOptimize = h.NoOptimize
 		cfg.Progress = h.Progress
 		var err error

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package mmapfile
+
+import "errors"
+
+// Non-unix platforms always take the read-whole-file fallback.
+func openMapped(path string) (*File, error) {
+	return nil, errors.New("mmapfile: mapping unsupported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

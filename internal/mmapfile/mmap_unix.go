@@ -1,0 +1,42 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// errEmptyFile routes zero-length files to the fallback: mmap(2)
+// rejects length 0, and an empty heap buffer serves identically.
+var errEmptyFile = errors.New("mmapfile: empty file")
+
+// openMapped maps the file read-only and privately: writes elsewhere
+// to the same file never tear the view mid-read, and the mapping
+// itself can never dirty the file.
+func openMapped(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, errEmptyFile
+	}
+	if size != int64(int(size)) {
+		return nil, errors.New("mmapfile: file too large to map")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,111 @@
+// Package mmapfile gives read-only, zero-copy access to a file's
+// bytes: a memory mapping where the platform supports one, a plain
+// read-whole-file buffer everywhere else. Callers see one type either
+// way — a File whose Data() is the file's contents — so format code
+// (the dataset snapshot reader) never branches on how the bytes came
+// in, and the mapped and heap paths are byte-identical by
+// construction.
+//
+// The package also owns the unsafe aliasing helpers (Int32s, String)
+// that reinterpret regions of a mapping as typed Go values without
+// copying. Everything handed out by this package aliases the original
+// region and MUST be treated as read-only: appending to or writing
+// through an aliased slice either faults (a real mapping is PROT_READ)
+// or silently corrupts shared bytes. The mapalias analyzer (gdb-lint)
+// machine-checks that rule in the packages that consume mappings.
+//
+// Lifetime: Close unmaps, and every slice or string handed out before
+// the Close dangles afterwards. Long-lived consumers (the dataset
+// artifact registry) therefore never Close a mapping they have shared;
+// tests that do Close must not retain aliases across it.
+package mmapfile
+
+import (
+	"os"
+	"unsafe"
+)
+
+// File is a read-only view of one file's bytes: memory-mapped when
+// Mapped() is true, a private heap copy otherwise.
+type File struct {
+	data   []byte
+	mapped bool
+}
+
+// Open returns a read-only view of the named file, preferring a memory
+// mapping and falling back to reading the whole file into memory when
+// mapping is unavailable (unsupported platform, empty file, or a
+// mapping error). The fallback is indistinguishable to format code:
+// Data() holds the same bytes either way.
+func Open(path string) (*File, error) {
+	if f, err := openMapped(path); err == nil {
+		return f, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
+}
+
+// Data returns the file's bytes. The slice aliases the mapping (or the
+// one heap copy) and must be treated as read-only; it is valid until
+// Close.
+func (f *File) Data() []byte { return f.data }
+
+// Mapped reports whether the bytes are a live memory mapping (true) or
+// a heap copy (false).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Len returns the file size in bytes.
+func (f *File) Len() int { return len(f.data) }
+
+// Close releases the view: the mapping is unmapped (a heap copy is
+// simply dropped). Every alias handed out from Data, Int32s or String
+// is invalid afterwards.
+func (f *File) Close() error {
+	data, mapped := f.data, f.mapped
+	f.data, f.mapped = nil, false
+	if mapped && data != nil {
+		return munmap(data)
+	}
+	return nil
+}
+
+// nativeLittleEndian reports whether this machine stores multi-byte
+// integers little-endian — the byte order the snapshot format's
+// aligned sections use, so aliasing is only valid when it holds.
+var nativeLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// Int32s reinterprets b as a little-endian []int32 without copying.
+// ok is false — and the caller must decode by copy instead — when the
+// region cannot be aliased: length not a multiple of 4, base address
+// not 4-byte aligned, or a big-endian host. An empty region aliases
+// trivially.
+func Int32s(b []byte) (s []int32, ok bool) {
+	if len(b)%4 != 0 || !nativeLittleEndian {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []int32{}, true
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(int32(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(p), len(b)/4), true
+}
+
+// String reinterprets b as a string without copying. The result
+// aliases b: it is immutable only because the region is — callers must
+// hand in bytes nothing will ever write to (a read-only mapping, or a
+// buffer they retain and never mutate).
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

@@ -1,0 +1,123 @@
+package mmapfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+func TestOpenMappedMatchesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("abcdefgh"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !bytes.Equal(f.Data(), want) {
+		t.Fatal("mapped bytes differ from file contents")
+	}
+	if f.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(want))
+	}
+	if !f.Mapped() {
+		t.Log("mapping unavailable; fallback served the bytes (still correct)")
+	}
+}
+
+func TestOpenEmptyFileFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Mapped() {
+		t.Fatal("zero-length file should not be mapped")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", f.Len())
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file opened without error")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, []byte("12345678"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if f.Data() != nil {
+		t.Fatal("Data non-nil after Close")
+	}
+}
+
+func TestInt32sAliases(t *testing.T) {
+	if !nativeLittleEndian {
+		t.Skip("big-endian host: aliasing is defined to refuse")
+	}
+	// An 8-aligned backing array, values round-tripped through the
+	// little-endian encoding the snapshot sections use.
+	vals := []int32{0, 1, -1, 1 << 30, -(1 << 30), 42}
+	raw := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		raw = binary.LittleEndian.AppendUint32(raw, uint32(v))
+	}
+	got, ok := Int32s(raw)
+	if !ok {
+		t.Fatal("aligned region refused")
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+	// Empty region: trivially aliasable.
+	if s, ok := Int32s(raw[:0]); !ok || len(s) != 0 {
+		t.Fatalf("empty region: %v %v", s, ok)
+	}
+	// Length not a multiple of 4: refused.
+	if _, ok := Int32s(raw[:5]); ok {
+		t.Fatal("ragged length aliased")
+	}
+	// Misaligned base: refused. Byte slices carry no alignment
+	// guarantee, so find a 4-aligned offset and step one past it.
+	buf := make([]byte, 16)
+	off := (4 - int(uintptr(unsafe.Pointer(&buf[0]))%4)) % 4
+	if _, ok := Int32s(buf[off+1 : off+9]); ok {
+		t.Fatal("misaligned base aliased")
+	}
+}
+
+func TestStringAliases(t *testing.T) {
+	b := []byte("hello, mapping")
+	if got := String(b); got != "hello, mapping" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := String(nil); got != "" {
+		t.Fatalf("String(nil) = %q", got)
+	}
+}

@@ -207,6 +207,15 @@ type PositionMap struct {
 // NewPositionMap returns an empty map.
 func NewPositionMap() *PositionMap { return &PositionMap{} }
 
+// Reserve grows the map's capacity to hold n additional logical
+// positions without changing its contents or accounting.
+func (m *PositionMap) Reserve(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.phys = slices.Grow(m.phys, int(n))
+}
+
 // Add registers a physical offset and returns the logical position.
 func (m *PositionMap) Add(phys int64) int64 {
 	m.phys = append(m.phys, phys)

@@ -253,6 +253,20 @@ func TestStoreReserve(t *testing.T) {
 	s.Reserve(-1)
 }
 
+func TestPositionMapReserve(t *testing.T) {
+	m := NewPositionMap()
+	l0 := m.Add(42)
+	m.Reserve(100)
+	if got, ok := m.Get(l0); !ok || got != 42 {
+		t.Fatal("Reserve disturbed existing entries")
+	}
+	if m.Len() != 1 || m.Live() != 1 {
+		t.Fatalf("Reserve changed accounting: len=%d live=%d", m.Len(), m.Live())
+	}
+	m.Reserve(0) // no-ops
+	m.Reserve(-1)
+}
+
 func TestHeapReserve(t *testing.T) {
 	h := NewHeap()
 	off := h.Append([]byte("abc"))
